@@ -1,0 +1,55 @@
+"""Ablation of the two DTS software optimizations (Sections IV-B and IV-C):
+
+* queue-sync elision — task queues become private, so per-access
+  invalidate/flush pairs disappear;
+* parent-child-sync elision — ``has_stolen_child`` lets the runtime use
+  plain loads/stores on the reference count and skip the wait-end
+  invalidate when nothing was stolen.
+"""
+
+from repro.apps import make_app
+from repro.config import make_config
+from repro.core import WorkStealingRuntime
+from repro.harness import app_params
+from repro.machine import Machine
+
+from conftest import print_block
+
+APPS = ("cilk5-cs", "ligra-bfs")
+
+
+def run_one(app_name, scale, **rt_kwargs):
+    app = make_app(app_name, **app_params(app_name, scale))
+    machine = Machine(make_config("bt-hcc-dts-gwb", scale))
+    app.setup(machine)
+    rt = WorkStealingRuntime(machine, **rt_kwargs)
+    cycles = rt.run(app.make_root())
+    app.check()
+    tiny = machine.tiny_core_ids()
+    agg = machine.aggregate_l1_stats(tiny)
+    return cycles, agg["lines_flushed"], agg["lines_invalidated"]
+
+
+def test_dts_software_optimizations_ablation(benchmark, scale):
+    def collect():
+        table = {}
+        for app in APPS:
+            table[app] = {
+                "full": run_one(app, scale),
+                "no-queue-elision": run_one(app, scale, dts_elide_queue_sync=False),
+                "no-parent-elision": run_one(app, scale, dts_elide_parent_sync=False),
+            }
+        return table
+
+    table = benchmark.pedantic(collect, rounds=1, iterations=1)
+    lines = ["DTS optimization ablation (cycles / flushed lines / invalidated lines):"]
+    for app, variants in table.items():
+        for tag, (cycles, flushed, invalidated) in variants.items():
+            lines.append(f"  {app:10s} {tag:18s} {cycles:>9d} {flushed:>8d} {invalidated:>8d}")
+    print_block("\n".join(lines))
+
+    for app, variants in table.items():
+        # Disabling queue-sync elision restores per-spawn flushes.
+        assert variants["no-queue-elision"][1] >= variants["full"][1]
+        # Disabling parent-sync elision restores AMO/invalidate overhead.
+        assert variants["no-parent-elision"][2] >= variants["full"][2] * 0.9

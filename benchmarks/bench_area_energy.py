@@ -1,0 +1,44 @@
+"""Regenerates the Section V-A area-equivalence argument and the energy
+comparison behind the paper's "similar energy efficiency" claim."""
+
+from repro.analysis import area_equivalence_report, big_to_tiny_ratio
+from repro.config import make_config
+from repro.harness import geomean, run_experiment
+
+from conftest import print_block
+
+
+def test_area_model(benchmark):
+    ratio = benchmark.pedantic(big_to_tiny_ratio, rounds=1, iterations=1)
+    report = area_equivalence_report(
+        make_config("o3x8", "paper"), make_config("bt-mesi", "paper")
+    )
+    print_block(
+        f"CACTI-style area model: 64KB/4KB L1 ratio = {ratio:.2f} (paper: 14.9)\n"
+        f"O3x8 vs 64-core big.TINY total L1 area ratio = {report['ratio']:.3f}"
+    )
+    assert abs(ratio - 14.9) < 0.01
+    assert 0.8 < report["ratio"] < 1.3
+
+
+def test_energy_efficiency(benchmark, scale):
+    apps = ("cilk5-mt", "ligra-bfs", "ligra-cc")
+
+    def collect():
+        out = {}
+        for kind in ("bt-mesi", "bt-hcc-gwb", "bt-hcc-dts-gwb"):
+            out[kind] = [
+                run_experiment(app, kind, scale).energy.total_pj for app in apps
+            ]
+        return out
+
+    energy = benchmark.pedantic(collect, rounds=1, iterations=1)
+    mesi = geomean(energy["bt-mesi"])
+    dts = geomean(energy["bt-hcc-dts-gwb"])
+    lines = [
+        f"  {kind:16s} geomean energy = {geomean(vals):.3e} pJ"
+        for kind, vals in energy.items()
+    ]
+    print_block("Energy comparison (paper: DTS-gwb ~ MESI):\n" + "\n".join(lines))
+    # Paper: best HCC+DTS has similar energy efficiency to full MESI.
+    assert 0.4 < dts / mesi < 2.0

@@ -1,0 +1,28 @@
+"""Regenerates Figure 4: speedup and logical parallelism of ligra-tc as a
+function of task granularity (edges per task)."""
+
+from repro.harness import fig4_granularity, format_fig4
+
+from conftest import print_block
+
+GRAINS = (4, 8, 16, 32, 64, 128)
+
+
+def test_fig4_granularity_sweep(benchmark, scale):
+    rows = benchmark.pedantic(
+        fig4_granularity,
+        args=(scale,),
+        kwargs=dict(app_name="ligra-tc", grains=GRAINS),
+        rounds=1,
+        iterations=1,
+    )
+    print_block(format_fig4(rows))
+
+    # Paper Figure 4: logical parallelism decreases monotonically with
+    # granularity; speedup peaks at a middle granularity (too-small grains
+    # pay runtime overhead, too-large grains starve the cores).
+    paras = [r["parallelism"] for r in rows]
+    assert all(a >= b * 0.95 for a, b in zip(paras, paras[1:]))
+    speedups = [r["speedup_vs_serial"] for r in rows]
+    best = max(range(len(GRAINS)), key=lambda i: speedups[i])
+    assert speedups[best] >= speedups[-1]  # the largest grain is not optimal

@@ -1,0 +1,23 @@
+"""Regenerates Figure 5: per-app speedup of every HCC configuration
+relative to big.TINY/MESI."""
+
+from repro.config.system import DTS_KINDS, HCC_KINDS
+from repro.harness import fig5_speedup, format_series, geomean
+
+from conftest import print_block
+
+
+def test_fig5_speedup_over_bigtiny_mesi(benchmark, scale):
+    data = benchmark.pedantic(fig5_speedup, args=(scale,), rounds=1, iterations=1)
+    print_block(format_series("Figure 5: speedup vs big.TINY/MESI", data))
+
+    for kind in HCC_KINDS:
+        dts_kind = kind.replace("bt-hcc-", "bt-hcc-dts-")
+        hcc_gm = geomean(series[kind] for series in data.values())
+        dts_gm = geomean(series[dts_kind] for series in data.values())
+        # Paper: DTS never hurts on geomean and helps substantially.
+        assert dts_gm > 0.9 * hcc_gm
+    best = max(
+        geomean(series[k] for series in data.values()) for k in DTS_KINDS
+    )
+    assert best > 1.0

@@ -1,0 +1,21 @@
+"""Regenerates Figure 6: tiny-core L1 data cache hit rate per app/config."""
+
+from repro.harness import fig6_hitrate, format_series, geomean
+
+from conftest import print_block
+
+
+def test_fig6_l1_hit_rate(benchmark, scale):
+    data = benchmark.pedantic(fig6_hitrate, args=(scale,), rounds=1, iterations=1)
+    print_block(format_series("Figure 6: tiny-core L1D hit rate", data))
+
+    mesi = geomean(series["bt-mesi"] for series in data.values())
+    gwt = geomean(series["bt-hcc-gwt"] for series in data.values())
+    gwt_dts = geomean(series["bt-hcc-dts-gwt"] for series in data.values())
+    # Paper: GPU-WT has the worst hit rate (no write allocation + full
+    # invalidations); DTS recovers hit rate by eliminating invalidations.
+    assert gwt <= mesi + 0.02
+    assert gwt_dts >= gwt - 0.02
+    for series in data.values():
+        for rate in series.values():
+            assert 0.0 <= rate <= 1.0

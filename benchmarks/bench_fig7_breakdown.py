@@ -1,0 +1,26 @@
+"""Regenerates Figure 7: aggregated tiny-core execution-time breakdown,
+normalized to big.TINY/MESI."""
+
+from repro.cores.core import TIME_CATEGORIES
+from repro.harness import fig7_breakdown, format_stacked
+
+from conftest import print_block
+
+
+def test_fig7_execution_time_breakdown(benchmark, scale):
+    data = benchmark.pedantic(fig7_breakdown, args=(scale,), rounds=1, iterations=1)
+    print_block(
+        format_stacked("Figure 7: tiny-core time breakdown (normalized to MESI)",
+                       data, TIME_CATEGORIES)
+    )
+
+    flush_heavy = 0
+    for app, per_kind in data.items():
+        assert sum(per_kind["bt-mesi"].values()) > 0.99  # normalization anchor
+        # MESI never executes flush/invalidate stall cycles.
+        assert per_kind["bt-mesi"]["flush"] == 0.0
+        assert per_kind["bt-mesi"]["invalidate"] == 0.0
+        # GPU-WB without DTS spends real time flushing; DTS removes most.
+        if per_kind["bt-hcc-gwb"]["flush"] > per_kind["bt-hcc-dts-gwb"]["flush"]:
+            flush_heavy += 1
+    assert flush_heavy >= len(data) * 0.6

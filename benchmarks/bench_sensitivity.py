@@ -1,0 +1,89 @@
+"""Architectural sensitivity studies (beyond the paper's main matrix).
+
+Three single-parameter sweeps on a representative kernel, of the kind an
+architecture paper's rebuttal inevitably asks for:
+
+* tiny-core L1 capacity (the paper fixes 4KB = 1/16 of a big core's L1);
+* DRAM bandwidth (the paper's 16GB/s scaled-down budget);
+* the big-core memory-level-parallelism factor of our OoO approximation.
+
+Each sweep asserts basic monotonicity/sanity rather than absolute numbers.
+"""
+
+from repro.config.system import CacheParams
+from repro.harness import run_experiment
+
+from conftest import print_block
+
+APP = "ligra-bfs"
+KIND = "bt-hcc-dts-gwb"
+
+
+def test_tiny_l1_capacity_sensitivity(benchmark, scale):
+    sizes = (2048, 4096, 8192, 16384)
+
+    def collect():
+        out = {}
+        for size in sizes:
+            res = run_experiment(
+                APP, KIND, scale,
+                config_overrides={"tiny_l1": CacheParams(size, 2)},
+            )
+            out[size] = (res.cycles, res.l1_hit_rate_tiny)
+        return out
+
+    table = benchmark.pedantic(collect, rounds=1, iterations=1)
+    lines = [f"Tiny L1 capacity sweep on {APP} ({KIND}):"]
+    for size, (cycles, hit) in table.items():
+        lines.append(f"  {size // 1024:>3d}KB  cycles={cycles:>9d}  L1 hit={hit:.3f}")
+    print_block("\n".join(lines))
+
+    hits = [table[s][1] for s in sizes]
+    # Hit rate never degrades as the cache grows.
+    assert all(b >= a - 0.02 for a, b in zip(hits, hits[1:]))
+    # The largest cache is at least as fast as the smallest (within noise).
+    assert table[sizes[-1]][0] <= table[sizes[0]][0] * 1.15
+
+
+def test_dram_bandwidth_sensitivity(benchmark, scale):
+    bandwidths = (2.0, 8.0, 32.0)
+
+    def collect():
+        return {
+            bw: run_experiment(
+                APP, "bt-mesi", scale,
+                config_overrides={"dram_total_bytes_per_cycle": bw},
+            ).cycles
+            for bw in bandwidths
+        }
+
+    table = benchmark.pedantic(collect, rounds=1, iterations=1)
+    lines = [f"DRAM bandwidth sweep on {APP} (bt-mesi):"]
+    for bw, cycles in table.items():
+        lines.append(f"  {bw:>5.1f} B/cycle  cycles={cycles:>9d}")
+    print_block("\n".join(lines))
+    # More bandwidth never hurts (monotone within 5% noise).
+    cycles = [table[bw] for bw in bandwidths]
+    assert all(b <= a * 1.05 for a, b in zip(cycles, cycles[1:]))
+
+
+def test_big_core_mlp_sensitivity(benchmark, scale):
+    factors = (1.0, 0.6, 0.2)
+
+    def collect():
+        return {
+            f: run_experiment(
+                "cilk5-cs", "o3x1", scale,
+                config_overrides={"big_mlp_factor": f},
+            ).cycles
+            for f in factors
+        }
+
+    table = benchmark.pedantic(collect, rounds=1, iterations=1)
+    lines = ["Big-core MLP factor sweep on cilk5-cs (o3x1):"]
+    for f, cycles in table.items():
+        lines.append(f"  mlp={f:>4.1f}  cycles={cycles:>9d}")
+    print_block("\n".join(lines))
+    # Stronger latency overlap (smaller factor) is monotonically faster.
+    cycles = [table[f] for f in factors]
+    assert cycles[0] >= cycles[1] >= cycles[2]

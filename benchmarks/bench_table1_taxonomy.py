@@ -1,0 +1,20 @@
+"""Regenerates Table I: the cache coherence protocol taxonomy."""
+
+from repro.harness import format_table1, table1_taxonomy
+
+from conftest import print_block
+
+
+def test_table1_taxonomy(benchmark):
+    rows = benchmark.pedantic(table1_taxonomy, rounds=1, iterations=1)
+    print_block(format_table1(rows))
+    protocols = {r["protocol"]: r for r in rows}
+    # Table I invariants.
+    assert protocols["mesi"]["invalidation"] == "writer"
+    assert all(
+        protocols[p]["invalidation"] == "reader" for p in ("denovo", "gpu-wt", "gpu-wb")
+    )
+    assert protocols["denovo"]["dirty_propagation"] == "owner-wb"
+    assert protocols["gpu-wt"]["dirty_propagation"] == "noowner-wt"
+    assert protocols["gpu-wb"]["dirty_propagation"] == "noowner-wb"
+    assert protocols["gpu-wb"]["needs_flush"]

@@ -1,0 +1,28 @@
+"""Benchmark configuration.
+
+Benchmarks regenerate every table and figure of the paper.  By default they
+run at the ``quick`` scale (16-core machine, reduced inputs) so the full
+suite finishes in minutes; set ``REPRO_SCALE=paper`` for the 64-core
+Table II system (the configuration EXPERIMENTS.md records), or
+``REPRO_SCALE=large`` to push everything to the 256-core machine.
+
+Simulation results are memoized per process (``repro.harness.runner``), so
+the Table III sweep feeds Figures 5-8 without re-simulating.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import default_scale
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return default_scale()
+
+
+def print_block(text: str) -> None:
+    """Print a result table, visible under pytest's -s or on failure."""
+    print()
+    print(text)

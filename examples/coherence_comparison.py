@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Compare the four coherence protocols on one kernel, microscope view.
+
+Runs blocked matrix transpose (the paper's worst case for reader-initiated
+invalidation) on big.TINY machines whose tiny cores use MESI, DeNovo,
+GPU-WT, and GPU-WB, with and without Direct Task Stealing, and prints the
+protocol-level counters that explain the performance differences:
+invalidated lines, flushed lines, AMO counts, hit rates, and the Figure 8
+traffic categories.
+
+Run:  python examples/coherence_comparison.py
+"""
+
+from repro import Machine, WorkStealingRuntime, make_config
+from repro.apps import make_app
+
+CONFIGS = (
+    "bt-mesi",
+    "bt-hcc-dnv",
+    "bt-hcc-gwt",
+    "bt-hcc-gwb",
+    "bt-hcc-dts-dnv",
+    "bt-hcc-dts-gwt",
+    "bt-hcc-dts-gwb",
+)
+
+
+def run(kind: str):
+    app = make_app("cilk5-mt", n=64, grain=8)
+    machine = Machine(make_config(kind, "quick"))
+    app.setup(machine)
+    runtime = WorkStealingRuntime(machine)
+    cycles = runtime.run(app.make_root())
+    app.check()
+    tiny = machine.tiny_core_ids()
+    agg = machine.aggregate_l1_stats(tiny)
+    return {
+        "cycles": cycles,
+        "protocol": machine.l1s[tiny[0]].PROTOCOL,
+        "variant": runtime.variant,
+        "hit_rate": machine.l1_hit_rate(tiny),
+        "invalidated": agg["lines_invalidated"],
+        "flushed": agg["lines_flushed"],
+        "amos": agg["amos"],
+        "traffic": machine.traffic.snapshot(),
+    }
+
+
+def main() -> None:
+    print("cilk5-mt (64x64 transpose) across coherence configurations:\n")
+    header = (
+        f"{'config':18s} {'proto':8s} {'rt':4s} {'cycles':>8s} {'L1 hit':>7s} "
+        f"{'inv.lines':>9s} {'flushed':>8s} {'AMOs':>6s} {'wb_req B':>9s}"
+    )
+    print(header)
+    print("-" * len(header))
+    baseline = None
+    for kind in CONFIGS:
+        stats = run(kind)
+        baseline = baseline or stats["cycles"]
+        print(
+            f"{kind:18s} {stats['protocol']:8s} {stats['variant']:4s} "
+            f"{stats['cycles']:>8d} {stats['hit_rate']:>6.1%} "
+            f"{stats['invalidated']:>9d} {stats['flushed']:>8d} "
+            f"{stats['amos']:>6d} {stats['traffic']['wb_req']:>9d}"
+        )
+    print(
+        "\nReading guide (Section VI of the paper):\n"
+        " * MESI needs no invalidations/flushes — hardware keeps caches coherent.\n"
+        " * DeNovo/GPU-* invalidate the whole private cache around every deque\n"
+        "   access (Figure 3b), which costs hit rate.\n"
+        " * GPU-WB additionally flushes dirty data at spawns/steals (wb_req).\n"
+        " * DTS configurations make deques private: invalidations and flushes\n"
+        "   collapse to the (rare) actual steals, recovering the losses."
+    )
+
+
+if __name__ == "__main__":
+    main()

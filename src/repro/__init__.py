@@ -1,0 +1,43 @@
+"""repro: reproduction of "Efficiently Supporting Dynamic Task Parallelism
+on Heterogeneous Cache-Coherent Systems" (Wang, Ta, Cheng, Batten — ISCA 2020).
+
+The package provides:
+
+* an architectural simulator for big.TINY manycores with heterogeneous
+  cache coherence (``repro.machine``, ``repro.mem``, ``repro.noc``,
+  ``repro.cores``);
+* the paper's contribution — work-stealing runtimes for hardware-based
+  coherence, HCC, and Direct Task Stealing (``repro.core``);
+* the 13 evaluated application kernels (``repro.apps``);
+* analysis tools and the experiment harness that regenerates every table
+  and figure (``repro.analysis``, ``repro.harness``).
+
+Quick start::
+
+    from repro import Machine, WorkStealingRuntime, make_config
+    from repro.apps import make_app
+
+    machine = Machine(make_config("bt-hcc-dts-gwb", "quick"))
+    app = make_app("ligra-bfs", scale=7, grain=8)
+    app.setup(machine)
+    runtime = WorkStealingRuntime(machine)
+    cycles = runtime.run(app.make_root())
+    app.check()
+"""
+
+from repro.config import SystemConfig, make_config
+from repro.core import Task, WorkStealingRuntime, parallel_for, parallel_invoke
+from repro.machine import Machine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Machine",
+    "SystemConfig",
+    "make_config",
+    "WorkStealingRuntime",
+    "Task",
+    "parallel_for",
+    "parallel_invoke",
+    "__version__",
+]

@@ -1,0 +1,151 @@
+"""Command-line interface: run single experiments or regenerate results.
+
+Examples::
+
+    python -m repro list
+    python -m repro run ligra-bfs --config bt-hcc-dts-gwb --scale quick
+    python -m repro table 3 --scale quick
+    python -m repro fig 4
+    python -m repro workspan cilk5-cs --scale paper
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.apps import PAPER_APPS, app_names
+from repro.config.system import CONFIG_KINDS, SCALES
+
+
+def _cmd_list(_args) -> int:
+    print("applications:")
+    for name in app_names():
+        print(f"  {name}")
+    print("\nconfigurations:")
+    for kind in CONFIG_KINDS:
+        print(f"  {kind}")
+    print("\nscales:", ", ".join(sorted(SCALES)))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.harness import run_experiment, run_serial_baseline
+
+    result = run_experiment(args.app, args.config, args.scale, serial=args.serial)
+    print(f"app            : {result.app}")
+    print(f"config         : {result.kind} @ {result.scale}")
+    print(f"cycles         : {result.cycles}")
+    print(f"instructions   : {result.instructions}")
+    print(f"tasks/spawns   : {result.tasks}/{result.spawns}")
+    print(f"steals (tries) : {result.steals} ({result.steal_attempts})")
+    print(f"tiny L1 hit    : {result.l1_hit_rate_tiny:.3f}")
+    print(f"inv/flush lines: {result.lines_invalidated}/{result.lines_flushed}")
+    print(f"traffic bytes  : {result.total_traffic}")
+    print(f"energy (pJ)    : {result.energy.total_pj:.3e}")
+    if args.baseline:
+        serial = run_serial_baseline(args.app, args.scale)
+        print(f"speedup vs serial-IO: {serial.cycles / result.cycles:.2f}x")
+    return 0
+
+
+def _cmd_table(args) -> int:
+    from repro import harness
+
+    scale = args.scale
+    if args.number == 1:
+        print(harness.format_table1(harness.table1_taxonomy()))
+    elif args.number == 3:
+        print(harness.format_table3(harness.table3(scale)))
+    elif args.number == 4:
+        print(harness.format_table4(harness.table4(scale)))
+    elif args.number == 5:
+        print(harness.format_table5(harness.table5("large")))
+    else:
+        print(f"no table {args.number} in the paper's evaluation", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_fig(args) -> int:
+    from repro import harness
+    from repro.cores.core import TIME_CATEGORIES
+    from repro.mem.traffic import CATEGORIES
+
+    scale = args.scale
+    if args.number == 4:
+        print(harness.format_fig4(harness.fig4_granularity(scale)))
+    elif args.number == 5:
+        print(harness.format_series(
+            "Figure 5: speedup vs big.TINY/MESI", harness.fig5_speedup(scale)))
+    elif args.number == 6:
+        print(harness.format_series(
+            "Figure 6: tiny-core L1D hit rate", harness.fig6_hitrate(scale)))
+    elif args.number == 7:
+        print(harness.format_stacked(
+            "Figure 7: tiny-core time breakdown (normalized to MESI)",
+            harness.fig7_breakdown(scale), TIME_CATEGORIES))
+    elif args.number == 8:
+        print(harness.format_stacked(
+            "Figure 8: NoC traffic by category (normalized to MESI)",
+            harness.fig8_traffic(scale), CATEGORIES))
+    else:
+        print(f"no figure {args.number} in the paper's evaluation", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_workspan(args) -> int:
+    from repro.harness import workspan
+
+    report = workspan(args.app, args.scale)
+    print(f"work        : {report.work}")
+    print(f"span        : {report.span}")
+    print(f"parallelism : {report.parallelism:.2f}")
+    print(f"tasks       : {report.n_tasks}")
+    print(f"IPT         : {report.instructions_per_task:.1f}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="big.TINY / HCC / DTS reproduction harness (ISCA 2020)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list apps, configurations, and scales")
+
+    run_parser = sub.add_parser("run", help="run one app on one configuration")
+    run_parser.add_argument("app", choices=sorted(PAPER_APPS))
+    run_parser.add_argument("--config", default="bt-hcc-dts-gwb", choices=CONFIG_KINDS)
+    run_parser.add_argument("--scale", default="quick", choices=sorted(SCALES))
+    run_parser.add_argument("--serial", action="store_true", help="serial elision")
+    run_parser.add_argument("--baseline", action="store_true",
+                            help="also run the serial-IO baseline and report speedup")
+
+    table_parser = sub.add_parser("table", help="regenerate a paper table")
+    table_parser.add_argument("number", type=int, choices=(1, 3, 4, 5))
+    table_parser.add_argument("--scale", default="quick", choices=sorted(SCALES))
+
+    fig_parser = sub.add_parser("fig", help="regenerate a paper figure")
+    fig_parser.add_argument("number", type=int, choices=(4, 5, 6, 7, 8))
+    fig_parser.add_argument("--scale", default="quick", choices=sorted(SCALES))
+
+    ws_parser = sub.add_parser("workspan", help="Cilkview work/span analysis")
+    ws_parser.add_argument("app", choices=sorted(PAPER_APPS))
+    ws_parser.add_argument("--scale", default="quick", choices=sorted(SCALES))
+
+    args = parser.parse_args(argv)
+    handler = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "table": _cmd_table,
+        "fig": _cmd_fig,
+        "workspan": _cmd_workspan,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,22 @@
+"""Analysis tools: Cilkview work/span, CACTI-style area, energy model."""
+
+from repro.analysis.area import (
+    area_equivalence_report,
+    big_to_tiny_ratio,
+    l1_area,
+    system_l1_area,
+)
+from repro.analysis.cilkview import CilkviewAnalyzer, WorkSpanReport
+from repro.analysis.energy import DEFAULT_ENERGY_PJ, EnergyReport, estimate_energy
+
+__all__ = [
+    "CilkviewAnalyzer",
+    "WorkSpanReport",
+    "l1_area",
+    "system_l1_area",
+    "big_to_tiny_ratio",
+    "area_equivalence_report",
+    "estimate_energy",
+    "EnergyReport",
+    "DEFAULT_ENERGY_PJ",
+]

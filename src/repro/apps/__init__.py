@@ -1,0 +1,24 @@
+"""The paper's 13 dynamic task-parallel application kernels (Table III)."""
+
+# Importing the subpackages populates the application registry.
+from repro.apps import cilk5, ligra, ligra_apps  # noqa: F401
+from repro.apps.common import AppInstance, SimArray, app_names, make_app
+
+#: The 13 kernels of Table III, in the paper's presentation order.
+PAPER_APPS = (
+    "cilk5-cs",
+    "cilk5-lu",
+    "cilk5-mm",
+    "cilk5-mt",
+    "cilk5-nq",
+    "ligra-bc",
+    "ligra-bf",
+    "ligra-bfs",
+    "ligra-bfsbv",
+    "ligra-cc",
+    "ligra-mis",
+    "ligra-radii",
+    "ligra-tc",
+)
+
+__all__ = ["AppInstance", "SimArray", "make_app", "app_names", "PAPER_APPS"]

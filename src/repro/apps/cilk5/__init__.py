@@ -1,0 +1,9 @@
+"""Cilk-5 application kernels (recursive spawn-and-sync parallelism)."""
+
+from repro.apps.cilk5.cilksort import CilkSort
+from repro.apps.cilk5.lu import CilkLU
+from repro.apps.cilk5.matmul import CilkMatmul
+from repro.apps.cilk5.nqueens import CilkNQueens
+from repro.apps.cilk5.transpose import CilkTranspose
+
+__all__ = ["CilkSort", "CilkLU", "CilkMatmul", "CilkNQueens", "CilkTranspose"]

@@ -1,0 +1,17 @@
+"""Ligra-style graph processing substrate."""
+
+from repro.apps.ligra.base import LigraApp
+from repro.apps.ligra.edgemap import DenseFrontier, EdgeMapF, edge_map, vertex_map
+from repro.apps.ligra.graph import HostGraph, SimGraph, rmat, rmat_graph
+
+__all__ = [
+    "LigraApp",
+    "HostGraph",
+    "SimGraph",
+    "rmat",
+    "rmat_graph",
+    "DenseFrontier",
+    "EdgeMapF",
+    "edge_map",
+    "vertex_map",
+]

@@ -1,0 +1,23 @@
+"""System configuration presets (Table II of the paper)."""
+
+from repro.config.system import (
+    BIGTINY_KINDS,
+    CONFIG_KINDS,
+    DTS_KINDS,
+    HCC_KINDS,
+    SCALES,
+    CacheParams,
+    SystemConfig,
+    make_config,
+)
+
+__all__ = [
+    "SystemConfig",
+    "CacheParams",
+    "make_config",
+    "CONFIG_KINDS",
+    "BIGTINY_KINDS",
+    "HCC_KINDS",
+    "DTS_KINDS",
+    "SCALES",
+]

@@ -1,0 +1,198 @@
+"""System configurations: the paper's Table II machines at several scales.
+
+A :class:`SystemConfig` fully describes one simulated machine.  The named
+presets reproduce the paper's evaluated configurations:
+
+* ``o3x1`` / ``o3x4`` / ``o3x8`` — traditional multicores of 1/4/8 big
+  out-of-order cores with MESI everywhere (``O3x8`` is area-equivalent to
+  the 64-core big.TINY per the CACTI argument in Section V-A).
+* ``bt-mesi`` — big.TINY with hardware MESI on every core.
+* ``bt-hcc-dnv`` / ``bt-hcc-gwt`` / ``bt-hcc-gwb`` — big.TINY with HCC:
+  MESI big cores + DeNovo / GPU-WT / GPU-WB tiny cores.
+* ``bt-hcc-dts-dnv`` / ``-gwt`` / ``-gwb`` — the same plus Direct Task
+  Stealing.
+
+Scales (``SCALES``) shrink or grow the machine: ``tiny`` for unit tests,
+``quick`` for CI benchmarks, ``paper`` for the 64-core Table II system, and
+``large`` for the 256-core Table V system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+KB = 1024
+
+
+@dataclass(frozen=True)
+class CacheParams:
+    size_bytes: int
+    assoc: int = 2
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Complete description of one simulated machine."""
+
+    name: str
+    n_big: int
+    n_tiny: int
+    mesh_rows: int
+    mesh_cols: int
+    tiny_protocol: str = "mesi"  # mesi | denovo | gpu-wt | gpu-wb
+    big_protocol: str = "mesi"
+    dts: bool = False
+    big_l1: CacheParams = field(default_factory=lambda: CacheParams(64 * KB, 2))
+    tiny_l1: CacheParams = field(default_factory=lambda: CacheParams(4 * KB, 2))
+    l2_bank_bytes: int = 512 * KB
+    l2_assoc: int = 8
+    n_l2_banks: int = 8
+    dram_latency: int = 60
+    dram_total_bytes_per_cycle: float = 16.0
+    big_issue_width: int = 4
+    big_mlp_factor: float = 0.4
+    uli_entry_latency_tiny: int = 5
+    uli_entry_latency_big: int = 30
+    seed: int = 0xC0FFEE
+    max_cycles: int = 400_000_000
+
+    @property
+    def n_cores(self) -> int:
+        return self.n_big + self.n_tiny
+
+    def is_big_core(self, core_id: int) -> bool:
+        """Big cores occupy the lowest core ids (tile row 0)."""
+        return core_id < self.n_big
+
+    def protocol_for(self, core_id: int) -> str:
+        return self.big_protocol if self.is_big_core(core_id) else self.tiny_protocol
+
+    def l1_params_for(self, core_id: int) -> CacheParams:
+        return self.big_l1 if self.is_big_core(core_id) else self.tiny_l1
+
+    def validate(self) -> None:
+        if self.n_cores > self.mesh_rows * self.mesh_cols:
+            raise ValueError(
+                f"{self.n_cores} cores do not fit a "
+                f"{self.mesh_rows}x{self.mesh_cols} mesh"
+            )
+        if self.tiny_protocol not in ("mesi", "denovo", "gpu-wt", "gpu-wb"):
+            raise ValueError(f"unknown tiny protocol {self.tiny_protocol!r}")
+        if self.big_protocol != "mesi":
+            raise ValueError("big cores use hardware-based MESI in all configs")
+
+
+#: Shorthand protocol names used in config keys (paper's dnv/gwt/gwb).
+_PROTO_ALIASES = {"dnv": "denovo", "gwt": "gpu-wt", "gwb": "gpu-wb"}
+
+#: scale -> (n_big, n_tiny, rows, cols, banks, dram_bytes_per_cycle)
+SCALES: Dict[str, Tuple[int, int, int, int, int, float]] = {
+    "tiny": (1, 3, 2, 2, 2, 8.0),
+    "quick": (4, 12, 4, 4, 4, 16.0),
+    "paper": (4, 60, 8, 8, 8, 16.0),
+    "large": (4, 252, 8, 32, 32, 64.0),
+}
+
+#: All configurations evaluated in the paper's Section VI.  ``serial-io``
+#: is the Table III baseline: one in-order (tiny) core running the serial
+#: elision of each program.
+CONFIG_KINDS = (
+    "serial-io",
+    "o3x1",
+    "o3x4",
+    "o3x8",
+    "bt-mesi",
+    "bt-hcc-dnv",
+    "bt-hcc-gwt",
+    "bt-hcc-gwb",
+    "bt-hcc-dts-dnv",
+    "bt-hcc-dts-gwt",
+    "bt-hcc-dts-gwb",
+)
+
+#: The paper's big.TINY config keys in presentation order (Figures 5-8).
+BIGTINY_KINDS = CONFIG_KINDS[4:]
+HCC_KINDS = CONFIG_KINDS[5:8]
+DTS_KINDS = CONFIG_KINDS[8:]
+
+
+def make_config(kind: str, scale: str = "quick", **overrides) -> SystemConfig:
+    """Build a named configuration at a named scale.
+
+    ``overrides`` are forwarded to :func:`dataclasses.replace` so callers
+    can tweak individual parameters (seed, cache sizes, latencies).
+    """
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; choose from {sorted(SCALES)}")
+    n_big, n_tiny, rows, cols, banks, dram_bpc = SCALES[scale]
+
+    if kind == "serial-io":
+        config = SystemConfig(
+            name=f"{kind}-{scale}",
+            n_big=0,
+            n_tiny=1,
+            mesh_rows=1,
+            mesh_cols=1,
+            n_l2_banks=1,
+            dram_total_bytes_per_cycle=dram_bpc,
+        )
+    elif kind.startswith("o3x"):
+        n = int(kind[3:])
+        if n < 1:
+            raise ValueError(f"bad O3 config {kind!r}")
+        o3_rows, o3_cols = _square_mesh(n)
+        config = SystemConfig(
+            name=f"{kind}-{scale}",
+            n_big=n,
+            n_tiny=0,
+            mesh_rows=o3_rows,
+            mesh_cols=o3_cols,
+            n_l2_banks=max(1, o3_cols),
+            dram_total_bytes_per_cycle=dram_bpc,
+        )
+    elif kind == "bt-mesi":
+        config = SystemConfig(
+            name=f"{kind}-{scale}",
+            n_big=n_big,
+            n_tiny=n_tiny,
+            mesh_rows=rows,
+            mesh_cols=cols,
+            n_l2_banks=banks,
+            dram_total_bytes_per_cycle=dram_bpc,
+        )
+    elif kind.startswith("bt-hcc-"):
+        suffix = kind[len("bt-hcc-"):]
+        dts = suffix.startswith("dts-")
+        proto_key = suffix[4:] if dts else suffix
+        if proto_key not in _PROTO_ALIASES:
+            raise ValueError(f"unknown HCC protocol key {proto_key!r}")
+        config = SystemConfig(
+            name=f"{kind}-{scale}",
+            n_big=n_big,
+            n_tiny=n_tiny,
+            mesh_rows=rows,
+            mesh_cols=cols,
+            n_l2_banks=banks,
+            tiny_protocol=_PROTO_ALIASES[proto_key],
+            dts=dts,
+            dram_total_bytes_per_cycle=dram_bpc,
+        )
+    else:
+        raise ValueError(f"unknown config kind {kind!r}; choose from {CONFIG_KINDS}")
+
+    if overrides:
+        config = replace(config, **overrides)
+    config.validate()
+    return config
+
+
+def _square_mesh(n_cores: int) -> Tuple[int, int]:
+    """Smallest near-square mesh holding ``n_cores`` tiles."""
+    rows = 1
+    while rows * rows < n_cores:
+        rows += 1
+    cols = rows
+    while (rows - 1) * cols >= n_cores:
+        rows -= 1
+    return rows, cols

@@ -1,0 +1,16 @@
+"""The paper's primary contribution: work-stealing runtimes for HCC + DTS."""
+
+from repro.core.patterns import RangeTask, parallel_for, parallel_invoke
+from repro.core.runtime import WorkStealingRuntime
+from repro.core.task import FuncTask, Task
+from repro.core.taskqueue import TaskDeque
+
+__all__ = [
+    "Task",
+    "FuncTask",
+    "TaskDeque",
+    "WorkStealingRuntime",
+    "parallel_for",
+    "parallel_invoke",
+    "RangeTask",
+]

@@ -1,0 +1,509 @@
+"""Work-stealing runtimes for hardware, heterogeneous, and DTS systems.
+
+This module implements all three runtime variants of the paper's Figure 3:
+
+* ``hw``  (Figure 3a) — baseline for hardware-based cache coherence:
+  per-deque spin locks around every deque access; AMO reference counts.
+* ``hcc`` (Figure 3b) — heterogeneous cache coherence: every deque access
+  additionally invalidates the whole private cache after the lock acquire
+  and flushes it before the release; stolen tasks execute between an
+  invalidate and a flush; the parent invalidates after ``wait`` in case a
+  child was stolen; the reference count is polled with ``amo_or(rc, 0)``.
+* ``dts`` (Figure 3c) — direct task stealing: deques become thread-private
+  (ULI disabled around local accesses instead of locks); steals are ULI
+  round trips serviced by a victim-side handler; the handler sets the
+  parent's ``has_stolen_child`` flag before exporting a task, letting the
+  runtime skip AMOs, flushes and the final invalidate whenever no child was
+  actually stolen (the DAG-consistency optimizations of Section IV-C).
+
+The variant is normally derived from the machine's configuration, but can
+be forced (e.g. running the HCC runtime on a MESI machine — the coherence
+ops no-op — or ablating the DTS software optimizations).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.chaselev import ChaseLevDeque
+from repro.core.task import Task
+from repro.core.taskqueue import TaskDeque
+from repro.engine.simulator import SimulationError
+from repro.machine import Machine
+from repro.mem.address import WORD_BYTES
+
+#: Modeled fixed costs (in "instructions" of Work) of runtime bookkeeping.
+SPAWN_OVERHEAD = 6
+TASK_START_OVERHEAD = 4
+
+#: Idle cycles after a failed steal attempt before retrying; consecutive
+#: failures back off exponentially up to the cap (classic work-stealing
+#: backoff, bounding probe churn at 256 cores).  The cap is deliberately
+#: small: long sleeps delay work discovery and flatten exactly the steal
+#: dynamics the paper measures.
+STEAL_BACKOFF = 24
+STEAL_BACKOFF_CAP = 128
+
+
+class WorkStealingRuntime:
+    """A TBB/Cilk-like library runtime running on a simulated Machine."""
+
+    VARIANTS = ("hw", "hcc", "dts")
+
+    def __init__(
+        self,
+        machine: Machine,
+        variant: Optional[str] = None,
+        deque_capacity: int = 4096,
+        handler_steals_tail: bool = False,
+        dts_elide_queue_sync: bool = True,
+        dts_elide_parent_sync: bool = True,
+        serial_elision: bool = False,
+        deque_kind: str = "lock",
+        steal_policy: str = "random",
+    ):
+        if variant is None:
+            if machine.config.dts:
+                variant = "dts"
+            elif machine.config.tiny_protocol != "mesi":
+                variant = "hcc"
+            else:
+                variant = "hw"
+        if variant not in self.VARIANTS:
+            raise ValueError(f"unknown runtime variant {variant!r}")
+        self.machine = machine
+        self.variant = variant
+        #: Serial elision: fork_join runs children as plain nested calls —
+        #: no deques, no reference counts, no coherence ops.  This is the
+        #: "serial IO" baseline of Table III (the Cilk serial elision).
+        self.serial_elision = serial_elision
+        self.handler_steals_tail = handler_steals_tail
+        #: Ablation flags for the two DTS software optimizations (Section IV-B/C).
+        self.dts_elide_queue_sync = dts_elide_queue_sync
+        self.dts_elide_parent_sync = dts_elide_parent_sync
+
+        if deque_kind not in ("lock", "chase-lev"):
+            raise ValueError(f"unknown deque kind {deque_kind!r}")
+        if steal_policy not in ("random", "big-first"):
+            raise ValueError(f"unknown steal policy {steal_policy!r}")
+        #: Victim selection: "random" (the paper) or "big-first", an
+        #: asymmetry-aware policy in the spirit of Torng et al. [ISCA'16]
+        #: that probes a big core before falling back to random — big cores
+        #: run the root of the task tree and hold the largest subtasks.
+        self.steal_policy = steal_policy
+        if deque_kind == "chase-lev" and variant == "dts":
+            raise ValueError(
+                "DTS makes deques thread-private; a lock-free deque is moot"
+            )
+        self.deque_kind = deque_kind
+        self.contexts = machine.make_contexts()
+        self.n_threads = machine.config.n_cores
+        deque_cls = TaskDeque if deque_kind == "lock" else ChaseLevDeque
+        self.deques = [
+            deque_cls(machine, tid, deque_capacity) for tid in range(self.n_threads)
+        ]
+        # One mailbox word per thread, each on its own cache line.
+        self._mailboxes = [
+            machine.address_space.alloc_words(1, f"mailbox_{tid}")
+            for tid in range(self.n_threads)
+        ]
+        self.tasks: Dict[int, Task] = {}
+        self._next_task_id = 1
+        self.done = False
+        self.stats = machine.stats.child("runtime")
+        if self.variant == "dts":
+            self._install_uli_handlers()
+
+    # ------------------------------------------------------------------
+    # Task registration
+    # ------------------------------------------------------------------
+    def register_task(self, task: Task, parent: Optional[Task]) -> Task:
+        """Assign an id and a descriptor block (host-side bookkeeping)."""
+        task.task_id = self._next_task_id
+        self._next_task_id += 1
+        task.parent = parent
+        task.desc_addr = self.machine.address_space.alloc_words(
+            2 + task.ARG_WORDS, f"task_{task.task_id}"
+        )
+        self.tasks[task.task_id] = task
+        return task
+
+    def _init_descriptor(self, ctx, task: Task):
+        """Simulated stores initializing rc/hsc/args (task construction)."""
+        yield from ctx.work(SPAWN_OVERHEAD)
+        yield from ctx.store(task.rc_addr, 0)
+        yield from ctx.store(task.hsc_addr, 0)
+        for i in range(task.ARG_WORDS):
+            yield from ctx.store(task.arg_addr(i), 0)
+
+    # ------------------------------------------------------------------
+    # Public API: spawn / wait / fork_join
+    # ------------------------------------------------------------------
+    def spawn(self, ctx, task: Task):
+        """Figure 3 ``task::spawn``: enqueue on the current thread's deque."""
+        self.stats.add("spawns")
+        dq = self.deques[ctx.tid]
+        if self.deque_kind == "chase-lev":
+            # Lock-free publication; the push itself flushes user data on
+            # protocols that need it before the tail becomes visible.
+            yield from dq.push(ctx, task.task_id)
+        elif self.variant == "hw":
+            yield from dq.lock_acquire(ctx)
+            yield from dq.enqueue(ctx, task.task_id)
+            yield from dq.lock_release(ctx)
+        elif self.variant == "hcc":
+            yield from dq.lock_acquire(ctx)
+            yield from ctx.cache_invalidate()
+            yield from dq.enqueue(ctx, task.task_id)
+            yield from ctx.cache_flush()
+            yield from dq.lock_release(ctx)
+        else:  # dts
+            yield from ctx.uli_disable()
+            yield from dq.enqueue(ctx, task.task_id)
+            yield from ctx.uli_enable()
+            if not self.dts_elide_queue_sync:
+                # Ablation: keep the conservative per-spawn flush.
+                yield from ctx.cache_flush()
+
+    def wait(self, ctx, parent: Task):
+        """Figure 3 ``task::wait``: scheduling loop until children join."""
+        if self.variant == "hw":
+            yield from self._wait_hw(ctx, parent)
+        elif self.variant == "hcc":
+            yield from self._wait_hcc(ctx, parent)
+        else:
+            yield from self._wait_dts(ctx, parent)
+
+    def fork_join(self, ctx, parent: Task, children: List[Task]):
+        """Spawn ``children`` of ``parent`` and wait for all of them.
+
+        This is the building block behind ``parallel_invoke`` and the
+        recursive splitting of ``parallel_for`` (paper Figure 2).
+        """
+        if not children:
+            return
+        if self.serial_elision:
+            # Serial elision: children are plain nested calls.
+            for child in children:
+                self.register_task(child, parent)
+                yield from child.execute(self, ctx)
+            return
+        yield from ctx.store(parent.rc_addr, len(children))
+        for child in children:
+            self.register_task(child, parent)
+            yield from self._init_descriptor(ctx, child)
+        for child in children:
+            yield from self.spawn(ctx, child)
+        yield from self.wait(ctx, parent)
+
+    def run_inline(self, ctx, task: Task):
+        """Execute a fresh parentless task on the current thread."""
+        self.register_task(task, parent=None)
+        if self.serial_elision:
+            yield from task.execute(self, ctx)
+            return
+        yield from self._init_descriptor(ctx, task)
+        yield from self._run_task(ctx, task)
+
+    # ------------------------------------------------------------------
+    # Task execution
+    # ------------------------------------------------------------------
+    def _run_task(self, ctx, task: Task):
+        self.stats.add("tasks_executed")
+        for i in range(task.ARG_WORDS):
+            yield from ctx.load(task.arg_addr(i))
+        yield from ctx.work(TASK_START_OVERHEAD)
+        yield from task.execute(self, ctx)
+
+    def _decrement_parent_amo(self, ctx, task: Task):
+        if task.parent is not None:
+            yield from ctx.amo_sub(task.parent.rc_addr, 1)
+
+    def _choose_victim(self, ctx) -> int:
+        if self.steal_policy == "big-first":
+            n_big = self.machine.config.n_big
+            big_candidates = [c for c in range(n_big) if c != ctx.tid]
+            if big_candidates and ctx.rng.random() < 0.5:
+                return big_candidates[ctx.rng.randint(0, len(big_candidates) - 1)]
+        return ctx.choose_victim()
+
+    # ------------------------------------------------------------------
+    # Steal backoff
+    # ------------------------------------------------------------------
+    def _steal_backoff(self, ctx):
+        failures = getattr(ctx, "_steal_failures", 0)
+        ctx._steal_failures = failures + 1
+        window = min(STEAL_BACKOFF << min(failures, 6), STEAL_BACKOFF_CAP)
+        yield from ctx.idle(window + ctx.rng.randint(0, window))
+
+    @staticmethod
+    def _steal_succeeded(ctx):
+        ctx._steal_failures = 0
+
+    # ------------------------------------------------------------------
+    # Variant: hardware-based cache coherence (Figure 3a)
+    # ------------------------------------------------------------------
+    def _poll_local_hw(self, ctx):
+        dq = self.deques[ctx.tid]
+        if self.deque_kind == "chase-lev":
+            task_id = yield from dq.take(ctx)
+        else:
+            yield from dq.lock_acquire(ctx)
+            task_id = yield from dq.dequeue_tail(ctx)
+            yield from dq.lock_release(ctx)
+        if not task_id:
+            return False
+        task = self.tasks[task_id]
+        self.stats.add("local_dequeues")
+        yield from self._run_task(ctx, task)
+        yield from self._decrement_parent_amo(ctx, task)
+        return True
+
+    def _steal_hw(self, ctx):
+        if self.n_threads < 2:
+            yield from ctx.idle(STEAL_BACKOFF)
+            return False
+        self.stats.add("steal_attempts")
+        vid = self._choose_victim(ctx)
+        vdq = self.deques[vid]
+        if self.deque_kind == "chase-lev":
+            task_id = yield from vdq.steal(ctx)
+        else:
+            yield from vdq.lock_acquire(ctx)
+            task_id = yield from vdq.steal_head(ctx)
+            yield from vdq.lock_release(ctx)
+        if not task_id:
+            yield from self._steal_backoff(ctx)
+            return False
+        self._steal_succeeded(ctx)
+        task = self.tasks[task_id]
+        self.stats.add("steals")
+        yield from self._run_task(ctx, task)
+        yield from self._decrement_parent_amo(ctx, task)
+        return True
+
+    def _wait_hw(self, ctx, parent: Task):
+        while True:
+            rc = yield from ctx.load(parent.rc_addr)
+            if rc <= 0:
+                return
+            executed = yield from self._poll_local_hw(ctx)
+            if not executed:
+                yield from self._steal_hw(ctx)
+
+    # ------------------------------------------------------------------
+    # Variant: heterogeneous cache coherence (Figure 3b)
+    # ------------------------------------------------------------------
+    def _poll_local_hcc(self, ctx):
+        dq = self.deques[ctx.tid]
+        if self.deque_kind == "chase-lev":
+            # Control accesses are AMOs (coherence-point reads), so the
+            # whole-cache invalidate/flush pair is unnecessary locally.
+            task_id = yield from dq.take(ctx)
+        else:
+            yield from dq.lock_acquire(ctx)
+            yield from ctx.cache_invalidate()
+            task_id = yield from dq.dequeue_tail(ctx)
+            yield from ctx.cache_flush()
+            yield from dq.lock_release(ctx)
+        if not task_id:
+            return False
+        task = self.tasks[task_id]
+        self.stats.add("local_dequeues")
+        yield from self._run_task(ctx, task)
+        yield from self._decrement_parent_amo(ctx, task)
+        return True
+
+    def _steal_hcc(self, ctx):
+        if self.n_threads < 2:
+            yield from ctx.idle(STEAL_BACKOFF)
+            return False
+        self.stats.add("steal_attempts")
+        vid = self._choose_victim(ctx)
+        vdq = self.deques[vid]
+        if self.deque_kind == "chase-lev":
+            task_id = yield from vdq.steal(ctx)
+        else:
+            yield from vdq.lock_acquire(ctx)
+            yield from ctx.cache_invalidate()
+            task_id = yield from vdq.steal_head(ctx)
+            yield from ctx.cache_flush()
+            yield from vdq.lock_release(ctx)
+        if not task_id:
+            yield from self._steal_backoff(ctx)
+            return False
+        self._steal_succeeded(ctx)
+        task = self.tasks[task_id]
+        self.stats.add("steals")
+        # The stolen task's parent ran on another thread: invalidate to see
+        # its writes, flush afterwards so the parent can see ours.
+        yield from ctx.cache_invalidate()
+        yield from self._run_task(ctx, task)
+        yield from ctx.cache_flush()
+        yield from self._decrement_parent_amo(ctx, task)
+        return True
+
+    def _wait_hcc(self, ctx, parent: Task):
+        while True:
+            rc = yield from ctx.amo_or(parent.rc_addr, 0)
+            if rc <= 0:
+                break
+            executed = yield from self._poll_local_hcc(ctx)
+            if not executed:
+                yield from self._steal_hcc(ctx)
+        # A child may have been stolen and executed remotely: invalidate so
+        # the parent sees its children's writes (DAG consistency, req. 2).
+        yield from ctx.cache_invalidate()
+
+    # ------------------------------------------------------------------
+    # Variant: direct task stealing (Figure 3c)
+    # ------------------------------------------------------------------
+    def _poll_local_dts(self, ctx):
+        dq = self.deques[ctx.tid]
+        yield from ctx.uli_disable()
+        task_id = yield from dq.dequeue_tail(ctx)
+        yield from ctx.uli_enable()
+        if not task_id:
+            return False
+        task = self.tasks[task_id]
+        self.stats.add("local_dequeues")
+        yield from self._run_task(ctx, task)
+        yield from self._finish_child_dts(ctx, task)
+        return True
+
+    def _finish_child_dts(self, ctx, task: Task):
+        """Join a locally executed child: plain rc update unless stolen."""
+        if task.parent is None:
+            return
+        if not self.dts_elide_parent_sync:
+            yield from self._decrement_parent_amo(ctx, task)
+            return
+        hsc = yield from ctx.load(task.parent.hsc_addr)
+        if hsc:
+            yield from self._decrement_parent_amo(ctx, task)
+        else:
+            rc = yield from ctx.load(task.parent.rc_addr)
+            yield from ctx.store(task.parent.rc_addr, rc - 1)
+
+    def _steal_dts(self, ctx):
+        if self.n_threads < 2:
+            yield from ctx.idle(STEAL_BACKOFF)
+            return False
+        self.stats.add("steal_attempts")
+        vid = self._choose_victim(ctx)
+        ack = yield from ctx.uli_send_req(vid)
+        if not ack:
+            self.stats.add("steal_nacks")
+            yield from self._steal_backoff(ctx)
+            return False
+        task_id = yield from ctx.amo("xchg", self._mailboxes[ctx.tid], 0)
+        if not task_id:
+            yield from self._steal_backoff(ctx)
+            return False
+        self._steal_succeeded(ctx)
+        task = self.tasks[task_id]
+        self.stats.add("steals")
+        yield from ctx.cache_invalidate()
+        yield from self._run_task(ctx, task)
+        yield from ctx.cache_flush()
+        yield from self._decrement_parent_amo(ctx, task)
+        return True
+
+    def _wait_dts(self, ctx, parent: Task):
+        rc = yield from ctx.load(parent.rc_addr)
+        while rc > 0:
+            executed = yield from self._poll_local_dts(ctx)
+            if not executed:
+                yield from self._steal_dts(ctx)
+            if self.dts_elide_parent_sync:
+                hsc = yield from ctx.load(parent.hsc_addr)
+            else:
+                hsc = 1
+            if hsc:
+                rc = yield from ctx.amo_or(parent.rc_addr, 0)
+            else:
+                rc = yield from ctx.load(parent.rc_addr)
+        if self.dts_elide_parent_sync:
+            hsc = yield from ctx.load(parent.hsc_addr)
+        else:
+            hsc = 1
+        if hsc:
+            # Some child ran remotely: invalidate to see its writes.
+            yield from ctx.cache_invalidate()
+
+    # ------------------------------------------------------------------
+    # DTS victim-side ULI handler (Figure 3c lines 47-53)
+    # ------------------------------------------------------------------
+    def _install_uli_handlers(self) -> None:
+        for tid in range(self.n_threads):
+            self.machine.cores[tid].uli_handler_factory = self._handler_factory(tid)
+
+    def _handler_factory(self, victim_tid: int):
+        ctx = self.contexts[victim_tid]
+        dq = self.deques[victim_tid]
+
+        def handler(thief_core_id: int):
+            self.stats.add("uli_handler_runs")
+            if self.handler_steals_tail:
+                task_id = yield from dq.dequeue_tail(ctx)
+            else:
+                task_id = yield from dq.steal_head(ctx)
+            if task_id:
+                task = self.tasks[task_id]
+                if task.parent is not None:
+                    yield from ctx.store(task.parent.hsc_addr, 1)
+                yield from ctx.amo("xchg", self._mailboxes[thief_core_id], task_id)
+                yield from ctx.cache_flush()
+                self.stats.add("uli_tasks_exported")
+
+        return handler
+
+    # ------------------------------------------------------------------
+    # Threads and program execution
+    # ------------------------------------------------------------------
+    def _main_thread(self, ctx, root: Task):
+        if self.variant == "dts":
+            yield from ctx.uli_enable()
+        yield from self.run_inline(ctx, root)
+        self.done = True
+
+    def _worker_thread(self, ctx):
+        poll = {
+            "hw": self._poll_local_hw,
+            "hcc": self._poll_local_hcc,
+            "dts": self._poll_local_dts,
+        }[self.variant]
+        steal = {
+            "hw": self._steal_hw,
+            "hcc": self._steal_hcc,
+            "dts": self._steal_dts,
+        }[self.variant]
+        if self.variant == "dts":
+            yield from ctx.uli_enable()
+        while not self.done:
+            executed = yield from poll(ctx)
+            if not executed and not self.done:
+                yield from steal(ctx)
+
+    def run(self, root: Task, main_tid: int = 0) -> int:
+        """Execute ``root`` to completion; returns elapsed cycles."""
+        if self.done:
+            raise SimulationError("runtime already ran a program")
+        machine = self.machine
+        for tid in range(self.n_threads):
+            ctx = self.contexts[tid]
+            if tid == main_tid:
+                machine.cores[tid].start(self._main_thread(ctx, root))
+            else:
+                machine.cores[tid].start(self._worker_thread(ctx))
+        start = machine.sim.now
+        machine.sim.run()
+        if not self.done:
+            raise SimulationError("simulation drained without completing the program")
+        return machine.sim.now - start
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def mailbox_addr(self, tid: int) -> int:
+        return self._mailboxes[tid]

@@ -1,0 +1,7 @@
+"""Core models, thread contexts, and architectural operations."""
+
+from repro.cores import ops
+from repro.cores.context import ThreadContext
+from repro.cores.core import TIME_CATEGORIES, Core
+
+__all__ = ["Core", "ThreadContext", "ops", "TIME_CATEGORIES"]

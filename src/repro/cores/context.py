@@ -1,0 +1,116 @@
+"""Thread context: the programming interface of a simulated hardware thread.
+
+Runtime and application code calls these generator methods with
+``yield from``; each wraps one architectural operation.  Example::
+
+    def execute(self, ctx):
+        n = yield from ctx.load(self.addr)
+        yield from ctx.work(5)
+        yield from ctx.store(self.addr, n + 1)
+
+The context also carries the thread id and a per-thread RNG used by victim
+selection, keeping all randomness deterministic per run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+from repro.engine.rng import XorShift64
+from repro.cores import ops
+
+
+class ThreadContext:
+    """Per-hardware-thread handle passed to runtime and task code."""
+
+    def __init__(self, core, tid: int, n_threads: int, rng: XorShift64):
+        self.core = core
+        self.tid = tid
+        self.n_threads = n_threads
+        self.rng = rng
+
+    # ------------------------------------------------------------------
+    # Memory operations
+    # ------------------------------------------------------------------
+    def load(self, addr: int):
+        value = yield ops.Load(addr)
+        return value
+
+    def bypass_load(self, addr: int):
+        """Uncached load resolved at the shared L2 (mailbox reads)."""
+        value = yield ops.Load(addr, bypass=True)
+        return value
+
+    def store(self, addr: int, value: Any):
+        yield ops.Store(addr, value)
+
+    def amo(self, op: str, addr: int, operand: Any):
+        old = yield ops.Amo(op, addr, operand)
+        return old
+
+    def cas(self, addr: int, expected: int, desired: int):
+        """Compare-and-swap; returns the old value (== expected on success)."""
+        old = yield ops.Amo("cas", addr, (expected, desired))
+        return old
+
+    def amo_add(self, addr: int, delta: int):
+        old = yield ops.Amo("add", addr, delta)
+        return old
+
+    def amo_sub(self, addr: int, delta: int):
+        old = yield ops.Amo("sub", addr, delta)
+        return old
+
+    def amo_or(self, addr: int, bits: int):
+        old = yield ops.Amo("or", addr, bits)
+        return old
+
+    def amo_min(self, addr: int, value: int):
+        old = yield ops.Amo("min", addr, value)
+        return old
+
+    # ------------------------------------------------------------------
+    # Compute / waiting
+    # ------------------------------------------------------------------
+    def work(self, n: int):
+        if n > 0:
+            yield ops.Work(n)
+
+    def idle(self, n: int):
+        if n > 0:
+            yield ops.Idle(n)
+
+    # ------------------------------------------------------------------
+    # Software coherence instructions
+    # ------------------------------------------------------------------
+    def cache_invalidate(self):
+        yield ops.InvAll()
+
+    def cache_flush(self):
+        yield ops.FlushAll()
+
+    # ------------------------------------------------------------------
+    # User-level interrupts (Direct Task Stealing)
+    # ------------------------------------------------------------------
+    def uli_send_req(self, victim_tid: int):
+        """Send a steal request; blocks until ACK/NACK. Returns ack bool."""
+        ack = yield ops.UliSend(victim_tid)
+        return ack
+
+    def uli_enable(self):
+        yield ops.UliEnable()
+
+    def uli_disable(self):
+        yield ops.UliDisable()
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def choose_victim(self) -> int:
+        """Uniform random victim other than self (paper: random selection)."""
+        return self.rng.choice_excluding(self.n_threads, self.tid)
+
+    def load_pair(self, addr_a: int, addr_b: int) -> Tuple[int, int]:
+        a = yield from self.load(addr_a)
+        b = yield from self.load(addr_b)
+        return a, b

@@ -1,0 +1,295 @@
+"""Core model: executes one hardware thread as a generator coroutine.
+
+Two core flavours, matching the paper's Table II:
+
+* **tiny** — single-issue in-order RV64GC-like core: ``Work(n)`` costs n
+  cycles, memory latency is fully exposed.
+* **big** — 4-way out-of-order core approximated with two parameters:
+  ``issue_width`` divides compute cycles and ``mlp_factor`` scales the
+  exposed portion of memory miss latency (modeling overlap from the
+  128-entry ROB / 16-entry LSQ).
+
+The core owns the ULI receive logic of Section IV: a one-entry request
+buffer, enable/disable state, NACK when disabled/busy/halted, handler entry
+latency (a few cycles on tiny cores, tens on big cores — in-flight
+instructions must drain), and handler execution as a nested coroutine frame
+on top of the interrupted thread.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.cores import ops
+from repro.engine.simulator import SimulationError, Simulator
+from repro.engine.stats import StatGroup
+
+#: Sentinel pushed on the resume stack when a handler interrupts a core
+#: that is blocked waiting for its own ULI response (no value to deliver).
+_NO_RESULT = object()
+
+#: Stat categories for the Figure 7 execution-time breakdown.
+TIME_CATEGORIES = (
+    "compute",
+    "load",
+    "store",
+    "amo",
+    "flush",
+    "invalidate",
+    "uli",
+    "idle",
+)
+
+
+class Core:
+    """One core tile: coroutine executor + ULI receiver."""
+
+    def __init__(
+        self,
+        core_id: int,
+        sim: Simulator,
+        l1,
+        stats: StatGroup,
+        is_big: bool = False,
+        issue_width: int = 1,
+        mlp_factor: float = 1.0,
+        uli_network=None,
+        uli_entry_latency: int = 5,
+    ):
+        self.core_id = core_id
+        self.sim = sim
+        self.l1 = l1
+        self.is_big = is_big
+        self.issue_width = max(1, issue_width)
+        self.mlp_factor = mlp_factor
+        self.uli_network = uli_network
+        self.uli_entry_latency = uli_entry_latency
+        self.stats = stats.child(f"core_{core_id}")
+
+        self._frames: List[Generator] = []
+        self._resume_stack: List[Any] = []
+        self.halted = True
+
+        # ULI receiver state.
+        self.uli_enabled = False
+        self._in_handler = False
+        self._pending_uli: Optional[int] = None
+        self._uli_waiting = False
+        self._deferred_uli_resp: Optional[bool] = None
+        self._uli_send_time = 0
+        self._handler_entry_time = 0
+        self._wait_handler_cycles = 0
+        #: Set by the runtime: thief_id -> handler generator.
+        self.uli_handler_factory: Optional[Callable[[int], Generator]] = None
+
+    # ------------------------------------------------------------------
+    # Thread startup
+    # ------------------------------------------------------------------
+    def start(self, thread: Generator, delay: int = 0) -> None:
+        """Begin executing ``thread`` on this core."""
+        if self._frames:
+            raise SimulationError(f"core {self.core_id} already running a thread")
+        self._frames.append(thread)
+        self.halted = False
+        self.sim.schedule(delay, lambda: self._step(None))
+
+    # ------------------------------------------------------------------
+    # Coroutine machinery
+    # ------------------------------------------------------------------
+    def _step(self, send_value: Any) -> None:
+        frame = self._frames[-1]
+        try:
+            op = frame.send(send_value)
+        except StopIteration:
+            self._frames.pop()
+            if self._in_handler and self._frames:
+                self._finish_handler()
+            elif not self._frames:
+                self.halted = True
+            return
+        self._dispatch(op)
+
+    def _charge_memory(self, latency: int) -> int:
+        """Scale exposed memory latency for big cores (MLP overlap)."""
+        if latency <= 1 or self.mlp_factor >= 1.0:
+            return latency
+        return 1 + max(0, math.ceil((latency - 1) * self.mlp_factor))
+
+    def _dispatch(self, op: ops.Op) -> None:
+        kind = op.KIND
+        now = self.sim.now
+        if kind == "work":
+            latency = max(1, math.ceil(op.n / self.issue_width))
+            self.stats.add("instructions", op.n)
+            self._finish(kind, None, latency)
+        elif kind == "idle":
+            self._finish(kind, None, max(1, op.n))
+        elif kind == "load":
+            self.stats.add("instructions")
+            if op.bypass:
+                value, latency = self.l1.l2.read_word_bypass(self.core_id, op.addr, now)
+            else:
+                value, latency = self.l1.load(op.addr, now)
+            self._finish(kind, value, self._charge_memory(latency))
+        elif kind == "store":
+            self.stats.add("instructions")
+            latency = self.l1.store(op.addr, op.value, now)
+            self._finish(kind, None, self._charge_memory(latency))
+        elif kind == "amo":
+            self.stats.add("instructions")
+            old, latency = self.l1.amo(op.op, op.addr, op.operand, now)
+            self._finish(kind, old, self._charge_memory(latency))
+        elif kind == "invalidate":
+            self.stats.add("instructions")
+            latency = self.l1.invalidate_all(now)
+            self._finish(kind, None, max(1, latency))
+        elif kind == "flush":
+            self.stats.add("instructions")
+            latency = self.l1.flush_all(now)
+            self._finish(kind, None, max(1, latency))
+        elif kind == "uli_enable":
+            self.stats.add("instructions")
+            self.uli_enabled = True
+            self._finish("compute", None, 1)
+        elif kind == "uli_disable":
+            self.stats.add("instructions")
+            self.uli_enabled = False
+            self._finish("compute", None, 1)
+        elif kind == "uli_send":
+            self.stats.add("instructions")
+            self._send_uli(op.victim)
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unknown op kind {kind!r}")
+
+    def _finish(self, category: str, result: Any, latency: int) -> None:
+        if category not in TIME_CATEGORIES:
+            category = "compute"
+        self.stats.add(f"cycles_{category}", latency)
+        if self._in_handler:
+            # Victim-side DTS cost (Section VI-C's "<1% of execution time").
+            self.stats.add("cycles_uli_handler", latency)
+        self.sim.schedule(latency, lambda: self._complete(result))
+
+    def _complete(self, result: Any) -> None:
+        """An operation finished: take a pending ULI first, else resume."""
+        if self._can_enter_handler():
+            self._resume_stack.append(result)
+            self._enter_handler()
+            return
+        self._step(result)
+
+    # ------------------------------------------------------------------
+    # ULI sender side
+    # ------------------------------------------------------------------
+    def _send_uli(self, victim_core_id: int) -> None:
+        if self.uli_network is None:
+            raise SimulationError("ULI network not configured on this system")
+        self.stats.add("uli_requests_sent")
+        latency = self.uli_network.send_latency(self.core_id, victim_core_id)
+        self._uli_waiting = True
+        self._uli_send_time = self.sim.now
+        victim = self._peer(victim_core_id)
+        self.sim.schedule(latency, lambda: victim.deliver_uli_request(self.core_id))
+
+    def deliver_uli_response(self, ack: bool) -> None:
+        """Called (via event) when the victim's ACK/NACK arrives."""
+        if self._in_handler:
+            # We are servicing someone else's steal; hold our response.
+            self._deferred_uli_resp = ack
+            return
+        self._uli_waiting = False
+        self.stats.add("uli_acks" if ack else "uli_nacks")
+        # Handler time spent while waiting was already charged per-op;
+        # charge only the genuine wait here.
+        wait = self.sim.now - self._uli_send_time - self._wait_handler_cycles
+        self._wait_handler_cycles = 0
+        self.stats.add("cycles_uli", max(0, wait))
+        self._step(ack)
+
+    # ------------------------------------------------------------------
+    # ULI receiver side
+    # ------------------------------------------------------------------
+    def deliver_uli_request(self, thief_core_id: int) -> None:
+        """A steal request arrived at this core's one-entry buffer."""
+        rejectable = (
+            not self.uli_enabled
+            or self._in_handler
+            or self._pending_uli is not None
+            or self.halted
+            or self.uli_handler_factory is None
+        )
+        if rejectable:
+            self.stats.add("uli_rejected")
+            self._respond(thief_core_id, ack=False)
+            return
+        self._pending_uli = thief_core_id
+        if self._uli_waiting:
+            # The interrupted thread is blocked on its own ULI response:
+            # no op boundary will occur, so take the interrupt immediately.
+            self._resume_stack.append(_NO_RESULT)
+            self._enter_handler()
+        # Otherwise the handler starts at the next op boundary (_complete).
+
+    def _can_enter_handler(self) -> bool:
+        return (
+            self._pending_uli is not None
+            and self.uli_enabled
+            and not self._in_handler
+        )
+
+    def _enter_handler(self) -> None:
+        self._in_handler = True
+        self._handler_entry_time = self.sim.now
+        thief = self._pending_uli
+        self.stats.add("uli_handled")
+        self.stats.add("cycles_uli", self.uli_entry_latency)
+        self.stats.add("cycles_uli_handler", self.uli_entry_latency)
+        handler = self.uli_handler_factory(thief)
+        self._frames.append(handler)
+        self.sim.schedule(self.uli_entry_latency, lambda: self._step(None))
+
+    def _finish_handler(self) -> None:
+        thief = self._pending_uli
+        self._pending_uli = None
+        self._in_handler = False
+        self._respond(thief, ack=True)
+        saved = self._resume_stack.pop()
+        if saved is _NO_RESULT:
+            # Back to waiting for our own ULI response; do not bill the
+            # handler's cycles as wait time too.
+            self._wait_handler_cycles += self.sim.now - self._handler_entry_time
+            if self._deferred_uli_resp is not None:
+                resp, self._deferred_uli_resp = self._deferred_uli_resp, None
+                self.deliver_uli_response(resp)
+            return
+        self._step(saved)
+
+    def _respond(self, thief_core_id: int, ack: bool) -> None:
+        latency = self.uli_network.send_latency(self.core_id, thief_core_id)
+        thief = self._peer(thief_core_id)
+        self.sim.schedule(latency, lambda: thief.deliver_uli_response(ack))
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    _peers: List["Core"] = []
+
+    def attach_peers(self, peers: List["Core"]) -> None:
+        self._peers = peers
+
+    def _peer(self, core_id: int) -> "Core":
+        return self._peers[core_id]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def busy_cycles(self) -> int:
+        return sum(
+            self.stats.get(f"cycles_{cat}")
+            for cat in TIME_CATEGORIES
+            if cat != "idle"
+        )
+
+    def cycle_breakdown(self) -> dict:
+        return {cat: self.stats.get(f"cycles_{cat}") for cat in TIME_CATEGORIES}

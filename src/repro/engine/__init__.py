@@ -1,0 +1,7 @@
+"""Simulation kernel: event queue, statistics, deterministic RNG."""
+
+from repro.engine.rng import XorShift64
+from repro.engine.simulator import SimulationError, Simulator
+from repro.engine.stats import StatGroup
+
+__all__ = ["Simulator", "SimulationError", "StatGroup", "XorShift64"]

@@ -1,0 +1,86 @@
+"""Discrete-event simulation kernel.
+
+The simulator keeps a single priority queue of (time, sequence, callback)
+events.  Components schedule callbacks at absolute or relative cycle times;
+the sequence number makes event ordering fully deterministic for events
+scheduled at the same cycle (FIFO among ties).
+
+This kernel is deliberately minimal: the memory system resolves most
+latencies analytically (see ``repro.mem``), so the event queue only carries
+core wake-ups, ULI deliveries, and watchdog checks.  That keeps the event
+count per simulated cycle low enough for Python to simulate 64-core systems
+at interactive speed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised for fatal conditions inside a simulation (deadlock, overflow)."""
+
+
+class Simulator:
+    """A deterministic discrete-event simulator with a cycle-granular clock."""
+
+    def __init__(self, max_cycles: int = 500_000_000):
+        self._queue: List[Tuple[int, int, Callable[[], None]]] = []
+        self._seq = 0
+        self.now = 0
+        self.max_cycles = max_cycles
+        self._running = False
+        self._stop_requested = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: int, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run ``delay`` cycles from now (>= 0)."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self.schedule_at(self.now + int(delay), callback)
+
+    def schedule_at(self, time: int, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at absolute cycle ``time`` (>= now)."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+        heapq.heappush(self._queue, (time, self._seq, callback))
+        self._seq += 1
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[Callable[[], bool]] = None) -> int:
+        """Drain the event queue.
+
+        Runs until the queue empties, ``until()`` returns True (checked after
+        each event), ``stop()`` is called, or ``max_cycles`` is exceeded.
+        Returns the final cycle count.
+        """
+        self._running = True
+        self._stop_requested = False
+        try:
+            while self._queue:
+                time, _seq, callback = heapq.heappop(self._queue)
+                if time > self.max_cycles:
+                    raise SimulationError(
+                        f"simulation exceeded max_cycles={self.max_cycles}; "
+                        "likely deadlock or runaway spin loop"
+                    )
+                self.now = time
+                callback()
+                if self._stop_requested or (until is not None and until()):
+                    break
+        finally:
+            self._running = False
+        return self.now
+
+    def stop(self) -> None:
+        """Request the run loop to stop after the current event."""
+        self._stop_requested = True
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)

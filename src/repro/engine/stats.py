@@ -1,0 +1,76 @@
+"""Hierarchical statistics registry.
+
+Every simulated component owns a :class:`StatGroup`; groups nest, counters
+are plain ints/floats, and the whole tree flattens to a ``dict`` for the
+experiment harness.  Counters are created on first touch so components do
+not need to pre-declare every statistic.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, Tuple, Union
+
+Number = Union[int, float]
+
+
+class StatGroup:
+    """A named bag of counters with nested sub-groups."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._counters: Dict[str, Number] = defaultdict(int)
+        self._children: Dict[str, "StatGroup"] = {}
+
+    # ------------------------------------------------------------------
+    # Counters
+    # ------------------------------------------------------------------
+    def add(self, key: str, amount: Number = 1) -> None:
+        self._counters[key] += amount
+
+    def set(self, key: str, value: Number) -> None:
+        self._counters[key] = value
+
+    def get(self, key: str, default: Number = 0) -> Number:
+        return self._counters.get(key, default)
+
+    def maximize(self, key: str, value: Number) -> None:
+        if value > self._counters.get(key, value - 1):
+            self._counters[key] = value
+
+    # ------------------------------------------------------------------
+    # Hierarchy
+    # ------------------------------------------------------------------
+    def child(self, name: str) -> "StatGroup":
+        if name not in self._children:
+            self._children[name] = StatGroup(name)
+        return self._children[name]
+
+    def children(self) -> Iterator["StatGroup"]:
+        return iter(self._children.values())
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def flatten(self, prefix: str = "") -> Dict[str, Number]:
+        """Flatten to {dotted.path.counter: value}."""
+        out: Dict[str, Number] = {}
+        base = f"{prefix}{self.name}." if self.name else prefix
+        for key, value in sorted(self._counters.items()):
+            out[f"{base}{key}"] = value
+        for child in self._children.values():
+            out.update(child.flatten(base))
+        return out
+
+    def items(self) -> Iterator[Tuple[str, Number]]:
+        return iter(sorted(self._counters.items()))
+
+    def total(self, key: str) -> Number:
+        """Sum of ``key`` over this group and all descendants."""
+        result: Number = self._counters.get(key, 0)
+        for child in self._children.values():
+            result += child.total(key)
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StatGroup({self.name!r}, {dict(self._counters)!r})"

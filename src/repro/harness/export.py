@@ -1,0 +1,69 @@
+"""Result export: JSON / CSV serialization of experiment results.
+
+The benchmark harness prints human-readable tables; this module gives
+downstream tooling (plotting scripts, result archives) machine-readable
+forms of the same data.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import asdict
+from typing import Dict, List, Sequence
+
+from repro.harness.runner import ExperimentResult
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    """Flatten one ExperimentResult into a JSON-safe dict."""
+    out = asdict(result)
+    energy = out.pop("energy")
+    out["energy_pj"] = energy["total_pj"]
+    out["energy_breakdown_pj"] = energy["breakdown_pj"]
+    return out
+
+
+def results_to_json(results: Sequence[ExperimentResult], indent: int = 2) -> str:
+    return json.dumps([result_to_dict(r) for r in results], indent=indent)
+
+
+def rows_to_csv(rows: List[dict]) -> str:
+    """Serialize table rows (list of homogeneous dicts) to CSV text."""
+    if not rows:
+        return ""
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns, restval="")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({k: _scalar(v) for k, v in row.items()})
+    return buffer.getvalue()
+
+
+def series_to_csv(data: Dict[str, Dict[str, float]]) -> str:
+    """Serialize figure series ({app: {config: value}}) to CSV text."""
+    if not data:
+        return ""
+    configs: List[str] = []
+    for series in data.values():
+        for kind in series:
+            if kind not in configs:
+                configs.append(kind)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["app"] + configs)
+    for app_name, series in data.items():
+        writer.writerow([app_name] + [series.get(k, "") for k in configs])
+    return buffer.getvalue()
+
+
+def _scalar(value):
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return value

@@ -1,0 +1,198 @@
+"""Regenerators for the paper's figures (4, 5, 6, 7, 8) and the DTS
+overhead numbers quoted in Section VI-C.
+
+Each ``figN_*`` function returns the figure's data series; ``format_figN``
+renders it as a fixed-width text chart the way the benchmark harness
+prints it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.apps import PAPER_APPS
+from repro.config.system import BIGTINY_KINDS
+from repro.cores.core import TIME_CATEGORIES
+from repro.harness.runner import run_experiment, run_serial_baseline, workspan
+from repro.mem.traffic import CATEGORIES
+
+#: Short column labels for the seven big.TINY configurations.
+KIND_LABELS = {
+    "bt-mesi": "MESI",
+    "bt-hcc-dnv": "dnv",
+    "bt-hcc-gwt": "gwt",
+    "bt-hcc-gwb": "gwb",
+    "bt-hcc-dts-dnv": "D-dnv",
+    "bt-hcc-dts-gwt": "D-gwt",
+    "bt-hcc-dts-gwb": "D-gwb",
+}
+
+
+# ----------------------------------------------------------------------
+# Figure 4 — speedup and logical parallelism vs task granularity
+# ----------------------------------------------------------------------
+def fig4_granularity(
+    scale: str,
+    app_name: str = "ligra-tc",
+    grains: Sequence[int] = (2, 4, 8, 16, 32, 64),
+    kind: str = "bt-mesi",
+) -> List[dict]:
+    """Sweep task granularity for one app (paper: ligra-tc on 64 cores)."""
+    rows = []
+    serial = run_serial_baseline(app_name, scale)
+    for grain in grains:
+        res = run_experiment(app_name, kind, scale, app_overrides={"grain": grain})
+        ws = workspan(app_name, scale, grain=grain)
+        rows.append(
+            {
+                "grain": grain,
+                "speedup_vs_serial": serial.cycles / res.cycles,
+                "parallelism": ws.parallelism,
+                "ipt": ws.instructions_per_task,
+                "tasks": ws.n_tasks,
+            }
+        )
+    return rows
+
+
+def format_fig4(rows: List[dict], app_name: str = "ligra-tc") -> str:
+    header = f"{'Grain':>6s} {'Speedup':>9s} {'Parallelism':>12s} {'IPT':>9s} {'Tasks':>7s}"
+    lines = [f"Figure 4: {app_name} granularity sweep", header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r['grain']:>6d} {r['speedup_vs_serial']:>9.2f} "
+            f"{r['parallelism']:>12.2f} {r['ipt']:>9.1f} {r['tasks']:>7d}"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Figures 5-8 — per-app, per-config series normalized to big.TINY/MESI
+# ----------------------------------------------------------------------
+def fig5_speedup(scale: str, apps: Sequence[str] = PAPER_APPS) -> Dict[str, Dict[str, float]]:
+    """Speedup of each big.TINY config relative to big.TINY/MESI."""
+    data = {}
+    for app_name in apps:
+        mesi = run_experiment(app_name, "bt-mesi", scale)
+        data[app_name] = {
+            kind: mesi.cycles / run_experiment(app_name, kind, scale).cycles
+            for kind in BIGTINY_KINDS
+        }
+    return data
+
+
+def fig6_hitrate(scale: str, apps: Sequence[str] = PAPER_APPS) -> Dict[str, Dict[str, float]]:
+    """Tiny-core L1 data cache hit rate per app and config."""
+    data = {}
+    for app_name in apps:
+        data[app_name] = {
+            kind: run_experiment(app_name, kind, scale).l1_hit_rate_tiny
+            for kind in BIGTINY_KINDS
+        }
+    return data
+
+
+def fig7_breakdown(scale: str, apps: Sequence[str] = PAPER_APPS) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Aggregated tiny-core execution-time breakdown, normalized to MESI."""
+    data = {}
+    for app_name in apps:
+        mesi_total = sum(
+            run_experiment(app_name, "bt-mesi", scale).tiny_breakdown.values()
+        )
+        per_kind = {}
+        for kind in BIGTINY_KINDS:
+            res = run_experiment(app_name, kind, scale)
+            per_kind[kind] = {
+                cat: res.tiny_breakdown[cat] / max(1, mesi_total)
+                for cat in TIME_CATEGORIES
+            }
+        data[app_name] = per_kind
+    return data
+
+
+def fig8_traffic(scale: str, apps: Sequence[str] = PAPER_APPS) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """On-chip network traffic by category, normalized to MESI total."""
+    data = {}
+    for app_name in apps:
+        mesi_total = run_experiment(app_name, "bt-mesi", scale).total_traffic
+        per_kind = {}
+        for kind in BIGTINY_KINDS:
+            res = run_experiment(app_name, kind, scale)
+            per_kind[kind] = {
+                cat: res.traffic_bytes[cat] / max(1, mesi_total) for cat in CATEGORIES
+            }
+        data[app_name] = per_kind
+    return data
+
+
+def format_series(title: str, data: Dict[str, Dict[str, float]]) -> str:
+    """Render an app x config table of scalars (figures 5 and 6)."""
+    kinds = BIGTINY_KINDS
+    header = f"{'App':12s} " + " ".join(f"{KIND_LABELS[k]:>6s}" for k in kinds)
+    lines = [title, header, "-" * len(header)]
+    for app_name, series in data.items():
+        lines.append(
+            f"{app_name:12s} " + " ".join(f"{series[k]:>6.2f}" for k in kinds)
+        )
+    return "\n".join(lines)
+
+
+def format_stacked(
+    title: str,
+    data: Dict[str, Dict[str, Dict[str, float]]],
+    categories: Sequence[str],
+) -> str:
+    """Render app x config stacked-bar data (figures 7 and 8) as text."""
+    lines = [title]
+    for app_name, per_kind in data.items():
+        lines.append(f"  {app_name}:")
+        for kind, stack in per_kind.items():
+            total = sum(stack.values())
+            parts = " ".join(
+                f"{cat}={stack[cat]:.3f}" for cat in categories if stack[cat] > 0.0005
+            )
+            lines.append(f"    {KIND_LABELS[kind]:>6s} total={total:.3f}  {parts}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Section VI-C — DTS overhead characterization
+# ----------------------------------------------------------------------
+def dts_overhead(scale: str, apps: Sequence[str] = PAPER_APPS) -> List[dict]:
+    """ULI network utilization, latency, and DTS time share per app.
+
+    The paper reports <5% ULI network utilization, ~50-cycle average ULI
+    latency, and <1% of execution time spent on DTS.
+    """
+    rows = []
+    for app_name in apps:
+        res = run_experiment(app_name, "bt-hcc-dts-gwb", scale)
+        total_cycles = sum(res.tiny_breakdown.values())
+        rows.append(
+            {
+                "app": app_name,
+                "uli_utilization_pct": 100.0 * res.uli_utilization,
+                "uli_avg_latency": res.uli_avg_latency,
+                # Victim-side handler cycles (entry + handler body), the
+                # quantity the paper bounds below 1%.
+                "dts_time_pct": 100.0 * res.uli_handler_cycles / max(1, total_cycles),
+                "steals": res.steals,
+                "nacks": res.uli_nacks,
+            }
+        )
+    return rows
+
+
+def format_dts_overhead(rows: List[dict]) -> str:
+    header = (
+        f"{'App':12s} {'ULI util %':>10s} {'ULI lat (cyc)':>13s} "
+        f"{'DTS time %':>10s} {'Steals':>7s} {'NACKs':>6s}"
+    )
+    lines = ["DTS overheads (Section VI-C)", header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r['app']:12s} {r['uli_utilization_pct']:>10.3f} "
+            f"{r['uli_avg_latency']:>13.1f} {r['dts_time_pct']:>10.2f} "
+            f"{r['steals']:>7d} {r['nacks']:>6d}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,163 @@
+"""Experiment runner: one (app, config, scale) simulation -> ExperimentResult.
+
+Results are memoized per process so that the Table III runs feed Figures
+5-8 without re-simulating, the way a results database would in the paper's
+gem5 workflow.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.cilkview import CilkviewAnalyzer, WorkSpanReport
+from repro.analysis.energy import EnergyReport, estimate_energy
+from repro.apps import make_app
+from repro.config import make_config
+from repro.core import WorkStealingRuntime
+from repro.harness.params import app_params
+from repro.machine import Machine
+
+
+@dataclass
+class ExperimentResult:
+    app: str
+    kind: str
+    scale: str
+    serial: bool
+    cycles: int
+    instructions: int
+    tasks: int
+    spawns: int
+    steals: int
+    steal_attempts: int
+    l1_hit_rate_tiny: float
+    lines_invalidated: int
+    lines_flushed: int
+    invalidate_ops: int
+    flush_ops: int
+    amos: int
+    traffic_bytes: Dict[str, int]
+    tiny_breakdown: Dict[str, int]
+    energy: EnergyReport
+    uli_handled: int = 0
+    uli_handler_cycles: int = 0
+    uli_nacks: int = 0
+    uli_utilization: float = 0.0
+    uli_avg_latency: float = 0.0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_traffic(self) -> int:
+        return sum(self.traffic_bytes.values())
+
+
+_CACHE: Dict[Tuple, ExperimentResult] = {}
+_WORKSPAN_CACHE: Dict[Tuple, WorkSpanReport] = {}
+
+
+def default_scale() -> str:
+    """Benchmark scale, overridable with REPRO_SCALE=paper|large|quick."""
+    return os.environ.get("REPRO_SCALE", "quick")
+
+
+def run_experiment(
+    app_name: str,
+    kind: str,
+    scale: str,
+    serial: bool = False,
+    check: bool = True,
+    use_cache: bool = True,
+    app_overrides: Optional[dict] = None,
+    runtime_kwargs: Optional[dict] = None,
+    config_overrides: Optional[dict] = None,
+) -> ExperimentResult:
+    """Simulate ``app_name`` on configuration ``kind`` at ``scale``."""
+    key = (
+        app_name,
+        kind,
+        scale,
+        serial,
+        tuple(sorted((app_overrides or {}).items())),
+        tuple(sorted((runtime_kwargs or {}).items())),
+        tuple(sorted((config_overrides or {}).items())),
+    )
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+
+    params = app_params(app_name, scale, **(app_overrides or {}))
+    app = make_app(app_name, **params)
+    machine = Machine(make_config(kind, scale, **(config_overrides or {})))
+    app.setup(machine)
+    rt_kwargs = dict(runtime_kwargs or {})
+    if serial:
+        # Table III "serial IO" baseline: the serial elision of the same
+        # program (same grain, no runtime bookkeeping).
+        rt_kwargs["serial_elision"] = True
+    runtime = WorkStealingRuntime(machine, **rt_kwargs)
+    cycles = runtime.run(app.make_root(serial=False))
+    if check:
+        app.check()
+
+    tiny_ids = machine.tiny_core_ids() or list(range(machine.config.n_cores))
+    l1_agg = machine.aggregate_l1_stats(tiny_ids)
+    uli_stats = machine.stats.child("uli_network")
+    uli_messages = uli_stats.get("messages")
+    result = ExperimentResult(
+        app=app_name,
+        kind=kind,
+        scale=scale,
+        serial=serial,
+        cycles=cycles,
+        instructions=machine.total_instructions(),
+        tasks=runtime.stats.get("tasks_executed"),
+        spawns=runtime.stats.get("spawns"),
+        steals=runtime.stats.get("steals"),
+        steal_attempts=runtime.stats.get("steal_attempts"),
+        l1_hit_rate_tiny=machine.l1_hit_rate(tiny_ids),
+        lines_invalidated=l1_agg["lines_invalidated"],
+        lines_flushed=l1_agg["lines_flushed"],
+        invalidate_ops=l1_agg["invalidate_ops"],
+        flush_ops=l1_agg["flush_ops"],
+        amos=l1_agg["amos"],
+        traffic_bytes=machine.traffic.snapshot(),
+        tiny_breakdown=machine.aggregate_core_breakdown(tiny_ids),
+        energy=estimate_energy(machine),
+        uli_handled=runtime.stats.get("uli_handler_runs"),
+        uli_handler_cycles=sum(
+            machine.cores[c].stats.get("cycles_uli_handler") for c in tiny_ids
+        ),
+        uli_nacks=runtime.stats.get("steal_nacks"),
+        uli_utilization=machine.uli_network.utilization(max(1, cycles)),
+        uli_avg_latency=(
+            uli_stats.get("total_latency") / uli_messages if uli_messages else 0.0
+        ),
+    )
+    if use_cache:
+        _CACHE[key] = result
+    return result
+
+
+def run_serial_baseline(app_name: str, scale: str, **kwargs) -> ExperimentResult:
+    """The Table III baseline: serial elision on one in-order core."""
+    return run_experiment(app_name, "serial-io", scale, serial=True, **kwargs)
+
+
+def workspan(app_name: str, scale: str, **overrides) -> WorkSpanReport:
+    """Cilkview work/span analysis of the app at this scale's input."""
+    key = (app_name, scale, tuple(sorted(overrides.items())))
+    if key in _WORKSPAN_CACHE:
+        return _WORKSPAN_CACHE[key]
+    params = app_params(app_name, scale, **overrides)
+    app = make_app(app_name, **params)
+    analyzer = CilkviewAnalyzer()
+    app.setup(analyzer.machine)
+    report = analyzer.analyze(app.make_root())
+    _WORKSPAN_CACHE[key] = report
+    return report
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+    _WORKSPAN_CACHE.clear()

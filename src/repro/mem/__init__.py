@@ -1,0 +1,45 @@
+"""Simulated memory system: address space, caches, directory L2, DRAM."""
+
+from repro.mem.address import (
+    LINE_BYTES,
+    WORD_BYTES,
+    WORDS_PER_LINE,
+    AddressSpace,
+    Region,
+    line_addr,
+    word_addr,
+    word_index,
+)
+from repro.mem.amo import AMO_OPS, apply_amo
+from repro.mem.backing import MainMemory
+from repro.mem.cacheline import CacheLine, TagArray
+from repro.mem.dram import DramController
+from repro.mem.l1 import PROTOCOLS, DeNovoL1, GpuWbL1, GpuWtL1, L1Cache, MesiL1
+from repro.mem.l2 import SharedL2
+from repro.mem.traffic import CATEGORIES, TrafficMeter
+
+__all__ = [
+    "AddressSpace",
+    "Region",
+    "MainMemory",
+    "CacheLine",
+    "TagArray",
+    "DramController",
+    "SharedL2",
+    "TrafficMeter",
+    "CATEGORIES",
+    "L1Cache",
+    "MesiL1",
+    "DeNovoL1",
+    "GpuWtL1",
+    "GpuWbL1",
+    "PROTOCOLS",
+    "AMO_OPS",
+    "apply_amo",
+    "LINE_BYTES",
+    "WORD_BYTES",
+    "WORDS_PER_LINE",
+    "line_addr",
+    "word_addr",
+    "word_index",
+]

@@ -1,0 +1,98 @@
+"""Simulated physical address space.
+
+Addresses are byte addresses in a flat 64-bit space.  The machine word is
+8 bytes and the cache line is 64 bytes (8 words), matching the paper's
+simulated systems.  :class:`AddressSpace` is a bump allocator that hands out
+line-aligned regions; it exists so that runtime structures (task deques,
+task descriptors, mailboxes) and application data never overlap and so that
+false sharing between structures is impossible unless requested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+WORD_BYTES = 8
+LINE_BYTES = 64
+WORDS_PER_LINE = LINE_BYTES // WORD_BYTES
+
+
+def line_addr(addr: int) -> int:
+    """Base address of the cache line containing ``addr``."""
+    return addr & ~(LINE_BYTES - 1)
+
+
+def word_addr(addr: int) -> int:
+    """Word-aligned address containing ``addr``."""
+    return addr & ~(WORD_BYTES - 1)
+
+
+def word_index(addr: int) -> int:
+    """Index (0..7) of the word containing ``addr`` within its line."""
+    return (addr & (LINE_BYTES - 1)) // WORD_BYTES
+
+
+def align_up(value: int, alignment: int) -> int:
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named allocated span of the address space."""
+
+    name: str
+    base: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+
+class AddressSpace:
+    """Line-aligned bump allocator over the simulated address space."""
+
+    #: Allocations start above zero so that address 0 can serve as NULL.
+    BASE = 0x1000
+
+    def __init__(self):
+        self._next = self.BASE
+        self._regions: List[Region] = []
+        self._by_name: Dict[str, Region] = {}
+
+    def alloc(self, size_bytes: int, name: str = "anon") -> int:
+        """Allocate ``size_bytes`` (rounded up to a whole line), return base."""
+        if size_bytes <= 0:
+            raise ValueError(f"allocation size must be positive, got {size_bytes}")
+        size = align_up(size_bytes, LINE_BYTES)
+        base = self._next
+        self._next = base + size
+        region = Region(name=name, base=base, size=size)
+        self._regions.append(region)
+        self._by_name.setdefault(name, region)
+        return base
+
+    def alloc_words(self, n_words: int, name: str = "anon") -> int:
+        """Allocate an array of ``n_words`` machine words, return base."""
+        return self.alloc(n_words * WORD_BYTES, name)
+
+    def region(self, name: str) -> Region:
+        return self._by_name[name]
+
+    def regions(self) -> List[Region]:
+        return list(self._regions)
+
+    def owner_of(self, addr: int) -> str:
+        """Name of the region containing ``addr`` (debugging aid)."""
+        for region in self._regions:
+            if region.contains(addr):
+                return region.name
+        return "<unmapped>"
+
+    @property
+    def bytes_allocated(self) -> int:
+        return self._next - self.BASE

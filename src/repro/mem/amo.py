@@ -1,0 +1,43 @@
+"""Atomic memory operation (AMO) semantics.
+
+A single helper shared by every protocol: MESI and DeNovo perform AMOs in
+the private L1 after acquiring ownership; GPU-WT and GPU-WB perform them at
+the shared L2.  Either way the read-modify-write itself is this function.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+#: Supported AMO kinds (RISC-V "A" extension subset plus CAS).
+AMO_OPS = ("add", "sub", "or", "and", "xor", "xchg", "min", "max", "cas")
+
+
+def apply_amo(op: str, old: int, operand: Any) -> Tuple[int, int]:
+    """Apply ``op`` to ``old``; return (new_value, returned_old_value).
+
+    For ``cas`` the operand is an ``(expected, desired)`` pair and the store
+    happens only when ``old == expected``; the old value is always returned
+    so callers can detect success (RISC-V ``lr/sc`` loops and x86
+    ``cmpxchg`` both reduce to this).
+    """
+    if op == "add":
+        return old + operand, old
+    if op == "sub":
+        return old - operand, old
+    if op == "or":
+        return old | operand, old
+    if op == "and":
+        return old & operand, old
+    if op == "xor":
+        return old ^ operand, old
+    if op == "xchg":
+        return operand, old
+    if op == "min":
+        return (operand if operand < old else old), old
+    if op == "max":
+        return (operand if operand > old else old), old
+    if op == "cas":
+        expected, desired = operand
+        return (desired if old == expected else old), old
+    raise ValueError(f"unknown AMO op {op!r}")

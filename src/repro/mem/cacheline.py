@@ -1,0 +1,124 @@
+"""Cache line and set-associative tag array models.
+
+A single :class:`CacheLine` class serves every protocol: MESI uses the
+``state`` field with M/E/S states; DeNovo uses V (valid) and R (registered,
+i.e. owned); the GPU protocols use V with per-word ``valid_mask`` and
+``dirty_mask``.  The shared L2 extends lines with directory state
+(``sharers``/``owner``) — see ``repro.mem.l2``.
+
+The tag array is true set-associative storage with LRU replacement; all
+hit/miss/eviction behaviour in the simulator comes from these structures,
+not from analytic hit-rate formulas.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.mem.address import LINE_BYTES, WORDS_PER_LINE
+
+# Line states (shared across protocols; each protocol uses a subset).
+INVALID = "I"
+SHARED = "S"
+EXCLUSIVE = "E"
+MODIFIED = "M"
+VALID = "V"  # software-centric protocols: clean, possibly stale
+REGISTERED = "R"  # DeNovo: owned/dirty
+
+FULL_MASK = (1 << WORDS_PER_LINE) - 1
+
+
+class CacheLine:
+    """One resident cache line: tag, state, data, and per-word masks."""
+
+    __slots__ = ("addr", "state", "data", "valid_mask", "dirty_mask", "lru", "sharers", "owner")
+
+    def __init__(self, addr: int, state: str, data: Optional[List[int]] = None):
+        self.addr = addr
+        self.state = state
+        self.data: List[int] = data if data is not None else [0] * WORDS_PER_LINE
+        self.valid_mask = FULL_MASK
+        self.dirty_mask = 0
+        self.lru = 0
+        # Directory state; only used by L2 lines.
+        self.sharers: Set[int] = set()
+        self.owner: Optional[int] = None
+
+    def word_valid(self, idx: int) -> bool:
+        return bool(self.valid_mask & (1 << idx))
+
+    def word_dirty(self, idx: int) -> bool:
+        return bool(self.dirty_mask & (1 << idx))
+
+    def set_word(self, idx: int, value: int, dirty: bool) -> None:
+        self.data[idx] = value
+        self.valid_mask |= 1 << idx
+        if dirty:
+            self.dirty_mask |= 1 << idx
+
+    def dirty_word_count(self) -> int:
+        return bin(self.dirty_mask).count("1")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CacheLine(0x{self.addr:x}, {self.state}, v={self.valid_mask:02x}, d={self.dirty_mask:02x})"
+
+
+class TagArray:
+    """Set-associative tag/data array with LRU replacement."""
+
+    def __init__(self, size_bytes: int, assoc: int, line_bytes: int = LINE_BYTES):
+        if size_bytes % (assoc * line_bytes) != 0:
+            raise ValueError(
+                f"cache size {size_bytes} not divisible by assoc*line ({assoc}*{line_bytes})"
+            )
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self.n_sets = size_bytes // (assoc * line_bytes)
+        self._sets: List[Dict[int, CacheLine]] = [dict() for _ in range(self.n_sets)]
+        self._tick = 0
+
+    def _set_index(self, line_addr: int) -> int:
+        return (line_addr // self.line_bytes) % self.n_sets
+
+    def lookup(self, line_addr: int) -> Optional[CacheLine]:
+        """Return the resident line, updating LRU; None on miss."""
+        line = self._sets[self._set_index(line_addr)].get(line_addr)
+        if line is not None:
+            self._tick += 1
+            line.lru = self._tick
+        return line
+
+    def peek(self, line_addr: int) -> Optional[CacheLine]:
+        """Lookup without disturbing LRU (for snoops/recalls)."""
+        return self._sets[self._set_index(line_addr)].get(line_addr)
+
+    def insert(self, line: CacheLine) -> Optional[CacheLine]:
+        """Insert ``line``; return the evicted victim line, if any."""
+        target = self._sets[self._set_index(line.addr)]
+        victim = None
+        if line.addr not in target and len(target) >= self.assoc:
+            victim_addr = min(target, key=lambda a: target[a].lru)
+            victim = target.pop(victim_addr)
+        self._tick += 1
+        line.lru = self._tick
+        target[line.addr] = line
+        return victim
+
+    def remove(self, line_addr: int) -> Optional[CacheLine]:
+        return self._sets[self._set_index(line_addr)].pop(line_addr, None)
+
+    def lines(self) -> Iterator[CacheLine]:
+        """Iterate over all resident lines (snapshot; safe to mutate array)."""
+        for cache_set in self._sets:
+            yield from list(cache_set.values())
+
+    def resident_count(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def clear(self) -> List[CacheLine]:
+        """Drop every line, returning them (for flash invalidation)."""
+        dropped: List[CacheLine] = []
+        for cache_set in self._sets:
+            dropped.extend(cache_set.values())
+            cache_set.clear()
+        return dropped

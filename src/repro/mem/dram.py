@@ -1,0 +1,45 @@
+"""DRAM controller model: fixed access latency + bandwidth-limited queue.
+
+The paper's systems have one memory controller per mesh column with 16GB/s
+aggregate bandwidth.  We model each controller as a FIFO server: a request
+occupies the controller for ``bytes / bytes_per_cycle`` cycles (bandwidth)
+and the data returns after an additional fixed DRAM access latency.
+Back-to-back requests queue behind each other, which is how memory-bandwidth
+saturation shows up in the simulated systems.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.engine.stats import StatGroup
+
+
+class DramController:
+    """A single bandwidth-limited memory channel."""
+
+    def __init__(
+        self,
+        controller_id: int,
+        stats: StatGroup,
+        access_latency: int = 60,
+        bytes_per_cycle: float = 2.0,
+    ):
+        self.controller_id = controller_id
+        self.access_latency = access_latency
+        self.bytes_per_cycle = bytes_per_cycle
+        self.busy_until = 0
+        self.stats = stats.child(f"dram{controller_id}")
+
+    def access(self, now: int, n_bytes: int) -> int:
+        """Issue an access at cycle ``now``; return its total latency."""
+        service = max(1, math.ceil(n_bytes / self.bytes_per_cycle))
+        start = max(now, self.busy_until)
+        self.busy_until = start + service
+        completion = start + service + self.access_latency
+        queue_delay = start - now
+        self.stats.add("accesses")
+        self.stats.add("bytes", n_bytes)
+        self.stats.add("queue_cycles", queue_delay)
+        self.stats.add("busy_cycles", service)
+        return completion - now

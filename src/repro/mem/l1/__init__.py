@@ -1,0 +1,17 @@
+"""Private L1 cache protocols (Table I of the paper)."""
+
+from repro.mem.l1.base import L1Cache
+from repro.mem.l1.denovo import DeNovoL1
+from repro.mem.l1.gpu_wb import GpuWbL1
+from repro.mem.l1.gpu_wt import GpuWtL1
+from repro.mem.l1.mesi import MesiL1
+
+#: Protocol name -> L1 class, as used by system configurations.
+PROTOCOLS = {
+    "mesi": MesiL1,
+    "denovo": DeNovoL1,
+    "gpu-wt": GpuWtL1,
+    "gpu-wb": GpuWbL1,
+}
+
+__all__ = ["L1Cache", "MesiL1", "DeNovoL1", "GpuWtL1", "GpuWbL1", "PROTOCOLS"]

@@ -1,0 +1,121 @@
+"""GPU-WT software-centric coherent L1: write-through, no write-allocate.
+
+Reader-initiated invalidation, no ownership, word-granularity write-through
+(Table I).  Every store updates the shared L2 directly; a store miss does
+not refill the cache, so temporal locality in writes is lost — the paper's
+Figure 8 shows this as heavy ``wb_req`` traffic.  AMOs must be performed at
+the shared cache since private lines have no ownership.
+
+Stores retire through a small write(-through) buffer: the core stalls only
+when the buffer is full, which happens under bursts of stores whose L2
+round-trips have not drained.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+from repro.mem.address import line_addr
+from repro.mem.cacheline import CacheLine, VALID
+from repro.mem.l1.base import L1Cache
+
+
+class GpuWtL1(L1Cache):
+    PROTOCOL = "gpu-wt"
+    INVALIDATION = "reader"
+    DIRTY_PROPAGATION = "noowner-wt"
+    WRITE_GRANULARITY = "word"
+    TRACKED = False
+    AMO_AT_L2 = True
+    NEEDS_FLUSH = False
+    NEEDS_INVALIDATE = True
+
+    WRITE_BUFFER_ENTRIES = 8
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._write_buffer: Deque[int] = deque()  # completion times
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def load(self, addr: int, now: int) -> Tuple[int, int]:
+        line = self.tags.lookup(line_addr(addr))
+        if line is not None:
+            self._record_access("loads", True)
+            return line.data[self._word(addr)], self.hit_latency
+        self._record_access("loads", False)
+        data, latency, _excl = self.l2.fetch_shared(
+            self.core_id, addr, now + self.hit_latency, track_sharer=False
+        )
+        self._insert(CacheLine(line_addr(addr), VALID, data), now)
+        return data[self._word(addr)], self.hit_latency + latency
+
+    def store(self, addr: int, value: int, now: int) -> int:
+        line = self.tags.lookup(line_addr(addr))
+        hit = line is not None
+        self._record_access("stores", hit)
+        if hit:
+            # Update-on-hit keeps the local copy coherent with our own writes.
+            line.set_word(self._word(addr), value, dirty=False)
+        stall = self._write_buffer_stall(now)
+        wt_latency = self.l2.write_through_word(
+            self.core_id, addr, value, now + stall + self.hit_latency
+        )
+        self._write_buffer.append(now + stall + self.hit_latency + wt_latency)
+        return self.hit_latency + stall
+
+    def amo(self, op: str, addr: int, operand, now: int) -> Tuple[int, int]:
+        """AMOs execute at the shared L2 (no ownership in private caches)."""
+        self.stats.add("amos")
+        drain = self._drain_stall(now)
+        old, latency = self.l2.amo_word(self.core_id, addr, op, operand, now + drain)
+        line = self.tags.peek(line_addr(addr))
+        if line is not None:
+            # The response updates the stale local word.
+            from repro.mem.amo import apply_amo
+
+            new, _ = apply_amo(op, old, operand)
+            line.set_word(self._word(addr), new, dirty=False)
+        return old, drain + latency
+
+    # ------------------------------------------------------------------
+    # Software coherence operations
+    # ------------------------------------------------------------------
+    def invalidate_all(self, now: int) -> int:
+        """All lines are clean: flash-invalidate everything."""
+        self.stats.add("invalidate_ops")
+        dropped = len(self.tags.clear())
+        self.stats.add("lines_invalidated", dropped)
+        return self.FLASH_OP_LATENCY
+
+    # flush_all inherited: no-op (every write is already through).
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _write_buffer_stall(self, now: int) -> int:
+        """Retire completed entries; stall if the buffer is full."""
+        buffer = self._write_buffer
+        while buffer and buffer[0] <= now:
+            buffer.popleft()
+        if len(buffer) < self.WRITE_BUFFER_ENTRIES:
+            return 0
+        stall = buffer[0] - now
+        buffer.popleft()
+        self.stats.add("write_buffer_stall_cycles", stall)
+        return stall
+
+    def _drain_stall(self, now: int) -> int:
+        """AMOs are ordered behind prior write-throughs (fence semantics)."""
+        if not self._write_buffer:
+            return 0
+        last = self._write_buffer[-1]
+        self._write_buffer.clear()
+        return max(0, last - now)
+
+    def _insert(self, line: CacheLine, now: int) -> None:
+        # All resident lines are clean; evictions are silent.
+        if self.tags.insert(line) is not None:
+            self.stats.add("evictions")

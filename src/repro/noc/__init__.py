@@ -1,0 +1,6 @@
+"""On-chip networks: data mesh and the dedicated ULI mesh."""
+
+from repro.noc.mesh import Mesh, MeshConfig, Position
+from repro.noc.uli import ULI_MESSAGE_BYTES, UliNetwork
+
+__all__ = ["Mesh", "MeshConfig", "Position", "UliNetwork", "ULI_MESSAGE_BYTES"]

@@ -1,0 +1,56 @@
+"""User-level interrupt (ULI) network.
+
+The paper models the ULI fabric as a dedicated mesh with two virtual
+channels (request and response, to avoid protocol deadlock), 1-cycle router
+and channel latency, and single-word messages.  Each core has a one-entry
+request buffer and a one-entry response buffer; a core whose buffer is full
+NACKs the sender.
+
+This module provides latency and statistics for that fabric.  Delivery
+semantics (enable/disable, handler execution, ACK/NACK) live in
+``repro.cores.uli_unit``; this class is purely the wires.
+"""
+
+from __future__ import annotations
+
+from repro.engine.stats import StatGroup
+from repro.noc.mesh import Mesh
+
+#: Each ULI message is a single word: destination + payload.
+ULI_MESSAGE_BYTES = 8
+
+
+class UliNetwork:
+    """Dedicated request/response mesh for user-level interrupts."""
+
+    def __init__(self, mesh: Mesh, stats: StatGroup):
+        self.mesh = mesh
+        self.stats = stats.child("uli_network")
+
+    def send_latency(self, src_core: int, dst_core: int) -> int:
+        """Latency in cycles for one ULI message between two cores."""
+        a = self.mesh.core_position(src_core)
+        b = self.mesh.core_position(dst_core)
+        latency = self.mesh.latency(a, b, ULI_MESSAGE_BYTES)
+        hops = self.mesh.hops(a, b)
+        self.stats.add("messages")
+        self.stats.add("total_hops", hops)
+        self.stats.add("total_latency", latency)
+        self.stats.add("bytes", ULI_MESSAGE_BYTES)
+        return latency
+
+    def utilization(self, elapsed_cycles: int) -> float:
+        """Fraction of link-cycles carrying ULI flits (paper reports <5%)."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        flit_hops = self.stats.get("total_hops")
+        capacity = self.mesh.n_links * elapsed_cycles
+        if capacity == 0:
+            return 0.0
+        return flit_hops / capacity
+
+    def average_latency(self) -> float:
+        messages = self.stats.get("messages")
+        if messages == 0:
+            return 0.0
+        return self.stats.get("total_latency") / messages

@@ -1,0 +1,23 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+#: Make sibling test helper modules importable regardless of invocation dir.
+sys.path.insert(0, os.path.dirname(__file__))
+
+import pytest
+
+from helpers import ALL_BIGTINY, tiny_machine
+
+
+@pytest.fixture
+def machine():
+    return tiny_machine()
+
+
+@pytest.fixture(params=ALL_BIGTINY)
+def any_bigtiny_machine(request):
+    return tiny_machine(request.param)

@@ -1,0 +1,31 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+from repro.config import make_config
+from repro.machine import Machine
+
+#: All big.TINY configurations (tiny scale) exercised by integration tests.
+ALL_BIGTINY = (
+    "bt-mesi",
+    "bt-hcc-dnv",
+    "bt-hcc-gwt",
+    "bt-hcc-gwb",
+    "bt-hcc-dts-dnv",
+    "bt-hcc-dts-gwt",
+    "bt-hcc-dts-gwb",
+)
+
+#: One representative configuration per runtime variant.
+VARIANT_KINDS = ("bt-mesi", "bt-hcc-gwb", "bt-hcc-dts-gwb")
+
+
+def tiny_machine(kind: str = "bt-mesi", **overrides) -> Machine:
+    """A 4-core (1 big + 3 tiny) machine for unit/integration tests."""
+    return Machine(make_config(kind, "tiny", **overrides))
+
+
+def run_thread(machine: Machine, core_id: int, gen) -> int:
+    """Run a single generator thread to completion; return elapsed cycles."""
+    machine.cores[core_id].start(gen)
+    return machine.sim.run()

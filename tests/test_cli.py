@@ -1,0 +1,47 @@
+"""CLI smoke tests (python -m repro …)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "cilk5-cs" in out and "bt-hcc-dts-gwb" in out and "quick" in out
+
+
+def test_run_tiny(capsys):
+    assert main(["run", "cilk5-mt", "--config", "bt-hcc-gwb", "--scale", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "cycles" in out and "tiny L1 hit" in out
+
+
+def test_run_with_baseline(capsys):
+    code = main([
+        "run", "cilk5-mt", "--config", "bt-mesi", "--scale", "tiny", "--baseline",
+    ])
+    assert code == 0
+    assert "speedup vs serial-IO" in capsys.readouterr().out
+
+
+def test_table1(capsys):
+    assert main(["table", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "mesi" in out and "gpu-wb" in out
+
+
+def test_workspan(capsys):
+    assert main(["workspan", "cilk5-mt", "--scale", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "parallelism" in out
+
+
+def test_bad_app_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "not-an-app"])
+
+
+def test_bad_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

@@ -1,0 +1,185 @@
+"""Cross-protocol coherence integration scenarios on running cores.
+
+Unlike the per-protocol unit tests, these execute multi-core programs
+through the full machine (cores + caches + directory + NoC) and verify the
+DAG-consistency recipes of Section III end to end.
+"""
+
+import pytest
+
+from repro.cores import ops
+
+from helpers import ALL_BIGTINY, tiny_machine
+
+
+def run_all(machine):
+    machine.sim.run()
+
+
+PROTO_KINDS = ("bt-mesi", "bt-hcc-dnv", "bt-hcc-gwt", "bt-hcc-gwb")
+
+
+class TestProducerConsumer:
+    @pytest.mark.parametrize("kind", PROTO_KINDS)
+    def test_flush_then_invalidate_transfers_data(self, kind):
+        machine = tiny_machine(kind)
+        base = machine.address_space.alloc_words(16, "buf")
+        flag = machine.address_space.alloc_words(1, "flag")
+        seen = []
+
+        def producer():
+            for i in range(16):
+                yield ops.Store(base + i * 8, i * i)
+            yield ops.FlushAll()
+            yield ops.Amo("xchg", flag, 1)  # release via AMO
+
+        def consumer():
+            while True:
+                ready = yield ops.Amo("or", flag, 0)  # acquire via AMO
+                if ready:
+                    break
+                yield ops.Idle(20)
+            yield ops.InvAll()
+            values = []
+            for i in range(16):
+                value = yield ops.Load(base + i * 8)
+                values.append(value)
+            seen.append(values)
+
+        machine.cores[1].start(producer())
+        machine.cores[2].start(consumer())
+        run_all(machine)
+        assert seen == [[i * i for i in range(16)]]
+
+    def test_gwb_consumer_sees_stale_without_invalidate(self):
+        """Negative test: omitting the invalidate really breaks GPU-WB."""
+        machine = tiny_machine("bt-hcc-gwb")
+        addr = machine.address_space.alloc_words(1, "x")
+        machine.host_write_word(addr, 1)
+        seen = []
+
+        def consumer():
+            first = yield ops.Load(addr)  # warm the stale copy
+            yield ops.Idle(500)
+            second = yield ops.Load(addr)  # NO invalidate: stays stale
+            seen.append((first, second))
+
+        def producer():
+            yield ops.Idle(50)
+            yield ops.Store(addr, 2)
+            yield ops.FlushAll()
+
+        machine.cores[1].start(consumer())
+        machine.cores[2].start(producer())
+        run_all(machine)
+        assert seen == [(1, 1)]
+
+
+class TestFalseSharingGranularity:
+    @pytest.mark.parametrize("kind", PROTO_KINDS)
+    def test_word_writes_to_one_line_merge(self, kind):
+        """Two cores write different words of the same line; both survive."""
+        machine = tiny_machine(kind)
+        base = machine.address_space.alloc_words(8, "line")
+
+        def writer(core_id, word):
+            yield ops.Idle(core_id * 3)
+            yield ops.Store(base + word * 8, 100 + word)
+            yield ops.FlushAll()
+
+        machine.cores[1].start(writer(1, 0))
+        machine.cores[2].start(writer(2, 5))
+        run_all(machine)
+        assert machine.host_read_word(base) == 100
+        assert machine.host_read_word(base + 40) == 105
+
+
+class TestAtomicsAcrossProtocols:
+    @pytest.mark.parametrize("kind", ALL_BIGTINY)
+    def test_concurrent_amo_increments_never_lost(self, kind):
+        machine = tiny_machine(kind)
+        counter = machine.address_space.alloc_words(1, "ctr")
+        machine.host_write_word(counter, 0)
+
+        def incrementer():
+            for _ in range(25):
+                yield ops.Amo("add", counter, 1)
+                yield ops.Idle(3)
+
+        for core_id in range(4):
+            machine.cores[core_id].start(incrementer())
+        run_all(machine)
+        assert machine.host_read_word(counter) == 100
+
+    @pytest.mark.parametrize("kind", PROTO_KINDS)
+    def test_cas_claims_exactly_once(self, kind):
+        machine = tiny_machine(kind)
+        slot = machine.address_space.alloc_words(1, "slot")
+        machine.host_write_word(slot, 0)
+        winners = []
+
+        def claimer(core_id):
+            old = yield ops.Amo("cas", slot, (0, core_id))
+            if old == 0:
+                winners.append(core_id)
+
+        for core_id in range(1, 4):
+            machine.cores[core_id].start(claimer(core_id))
+        run_all(machine)
+        assert len(winners) == 1
+        assert machine.host_read_word(slot) == winners[0]
+
+
+class TestBigTinyInterplay:
+    @pytest.mark.parametrize("kind", ("bt-hcc-dnv", "bt-hcc-gwt", "bt-hcc-gwb"))
+    def test_big_core_sees_tiny_core_flushed_writes(self, kind):
+        machine = tiny_machine(kind)
+        addr = machine.address_space.alloc_words(1, "x")
+        flag = machine.address_space.alloc_words(1, "f")
+        seen = []
+
+        def tiny_writer():
+            yield ops.Store(addr, 9)
+            yield ops.FlushAll()
+            yield ops.Amo("xchg", flag, 1)
+
+        def big_reader():  # big core: hardware MESI, no invalidate needed
+            while True:
+                ready = yield ops.Amo("or", flag, 0)
+                if ready:
+                    break
+                yield ops.Idle(10)
+            value = yield ops.Load(addr)
+            seen.append(value)
+
+        machine.cores[1].start(tiny_writer())
+        machine.cores[0].start(big_reader())
+        run_all(machine)
+        assert seen == [9]
+
+    @pytest.mark.parametrize("kind", ("bt-hcc-dnv", "bt-hcc-gwt", "bt-hcc-gwb"))
+    def test_tiny_core_sees_big_core_writes_after_invalidate(self, kind):
+        machine = tiny_machine(kind)
+        addr = machine.address_space.alloc_words(1, "x")
+        flag = machine.address_space.alloc_words(1, "f")
+        seen = []
+
+        def big_writer():
+            yield ops.Store(addr, 13)  # MESI: coherent, no flush needed
+            yield ops.Amo("xchg", flag, 1)
+
+        def tiny_reader():
+            yield ops.Load(addr)  # warm a (possibly stale) copy
+            while True:
+                ready = yield ops.Amo("or", flag, 0)
+                if ready:
+                    break
+                yield ops.Idle(10)
+            yield ops.InvAll()
+            value = yield ops.Load(addr)
+            seen.append(value)
+
+        machine.cores[0].start(big_writer())
+        machine.cores[1].start(tiny_reader())
+        run_all(machine)
+        assert seen == [13]

@@ -1,0 +1,131 @@
+"""Core model tests: op timing, big-core parameters, cycle accounting."""
+
+from repro.cores import ops
+
+from helpers import run_thread, tiny_machine
+
+
+def make():
+    machine = tiny_machine()
+    addr = machine.address_space.alloc_words(8, "x")
+    machine.host_write_word(addr, 9)
+    return machine, addr
+
+
+class TestTinyCoreExecution:
+    def test_work_costs_its_cycles(self):
+        machine, _ = make()
+
+        def thread():
+            yield ops.Work(10)
+
+        cycles = run_thread(machine, 1, thread())
+        assert cycles == 10
+
+    def test_load_returns_value(self):
+        machine, addr = make()
+        seen = []
+
+        def thread():
+            value = yield ops.Load(addr)
+            seen.append(value)
+
+        run_thread(machine, 1, thread())
+        assert seen == [9]
+
+    def test_instruction_counting(self):
+        machine, addr = make()
+
+        def thread():
+            yield ops.Work(5)
+            yield ops.Load(addr)
+            yield ops.Store(addr, 1)
+            yield ops.Amo("add", addr, 1)
+            yield ops.Idle(3)  # idle is not an instruction
+
+        run_thread(machine, 1, thread())
+        assert machine.cores[1].stats.get("instructions") == 8
+
+    def test_cycle_breakdown_categories(self):
+        machine, addr = make()
+
+        def thread():
+            yield ops.Work(5)
+            yield ops.Load(addr)
+            yield ops.Store(addr, 2)
+            yield ops.Idle(7)
+
+        run_thread(machine, 1, thread())
+        breakdown = machine.cores[1].cycle_breakdown()
+        assert breakdown["compute"] == 5
+        assert breakdown["idle"] == 7
+        assert breakdown["load"] >= 1
+        assert breakdown["store"] >= 1
+        assert sum(breakdown.values()) == machine.sim.now
+
+    def test_busy_excludes_idle(self):
+        machine, _ = make()
+
+        def thread():
+            yield ops.Work(5)
+            yield ops.Idle(100)
+
+        run_thread(machine, 1, thread())
+        assert machine.cores[1].busy_cycles() == 5
+
+    def test_core_halts_after_thread(self):
+        machine, _ = make()
+
+        def thread():
+            yield ops.Work(1)
+
+        run_thread(machine, 1, thread())
+        assert machine.cores[1].halted
+
+
+class TestBigCoreModel:
+    def test_issue_width_divides_compute(self):
+        machine, _ = make()
+
+        def thread():
+            yield ops.Work(40)
+
+        cycles = run_thread(machine, 0, thread())  # core 0 is big (width 4)
+        assert cycles == 10
+
+    def test_mlp_reduces_exposed_miss_latency(self):
+        big_machine, big_addr = make()
+
+        def thread(addr):
+            yield ops.Load(addr)
+
+        big_cycles = run_thread(big_machine, 0, thread(big_addr))
+        tiny_machine_, tiny_addr = make()
+        tiny_cycles = run_thread(tiny_machine_, 1, thread(tiny_addr))
+        assert big_cycles < tiny_cycles
+
+    def test_hits_not_scaled_below_one_cycle(self):
+        machine, addr = make()
+
+        def thread():
+            yield ops.Load(addr)  # miss
+            yield ops.Load(addr)  # hit
+
+        run_thread(machine, 0, thread())
+        # a hit costs exactly 1 cycle even on the big core
+        assert machine.cores[0].stats.get("cycles_load") >= 2
+
+
+class TestBypassLoad:
+    def test_bypass_load_skips_l1(self):
+        machine, addr = make()
+        seen = []
+
+        def thread():
+            value = yield ops.Load(addr, bypass=True)
+            seen.append(value)
+
+        run_thread(machine, 1, thread())
+        assert seen == [9]
+        assert machine.l1s[1].resident(addr) is None
+        assert machine.l1s[1].stats.get("loads") == 0

@@ -1,0 +1,99 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.engine import SimulationError, Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(30, lambda: order.append("c"))
+    sim.schedule(10, lambda: order.append("a"))
+    sim.schedule(20, lambda: order.append("b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 30
+
+
+def test_same_cycle_events_run_fifo():
+    sim = Simulator()
+    order = []
+    for tag in range(5):
+        sim.schedule(7, lambda t=tag: order.append(t))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_events_scheduled_from_callbacks():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        seen.append(sim.now)
+        sim.schedule(5, second)
+
+    def second():
+        seen.append(sim.now)
+
+    sim.schedule(3, first)
+    sim.run()
+    assert seen == [3, 8]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.schedule_at(5, lambda: None)
+
+
+def test_zero_delay_event_runs_at_current_cycle():
+    sim = Simulator()
+    times = []
+    sim.schedule(4, lambda: sim.schedule(0, lambda: times.append(sim.now)))
+    sim.run()
+    assert times == [4]
+
+
+def test_stop_halts_the_run_loop():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1, lambda: (seen.append(1), sim.stop()))
+    sim.schedule(2, lambda: seen.append(2))
+    sim.run()
+    assert seen == [1]
+    assert sim.pending_events == 1
+
+
+def test_until_predicate_stops_run():
+    sim = Simulator()
+    seen = []
+    for t in range(1, 6):
+        sim.schedule(t, lambda t=t: seen.append(t))
+    sim.run(until=lambda: len(seen) >= 3)
+    assert seen == [1, 2, 3]
+
+
+def test_max_cycles_guard_raises():
+    sim = Simulator(max_cycles=100)
+
+    def rearm():
+        sim.schedule(60, rearm)
+
+    sim.schedule(60, rearm)
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_run_returns_final_cycle():
+    sim = Simulator()
+    sim.schedule(42, lambda: None)
+    assert sim.run() == 42

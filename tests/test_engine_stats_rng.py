@@ -1,0 +1,114 @@
+"""Unit and property tests for the stats registry and the deterministic RNG."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.engine import StatGroup, XorShift64
+
+
+# ----------------------------------------------------------------------
+# StatGroup
+# ----------------------------------------------------------------------
+class TestStatGroup:
+    def test_counters_default_to_zero(self):
+        g = StatGroup("g")
+        assert g.get("missing") == 0
+
+    def test_add_and_get(self):
+        g = StatGroup("g")
+        g.add("hits")
+        g.add("hits", 4)
+        assert g.get("hits") == 5
+
+    def test_set_overwrites(self):
+        g = StatGroup("g")
+        g.add("x", 3)
+        g.set("x", 1)
+        assert g.get("x") == 1
+
+    def test_maximize(self):
+        g = StatGroup("g")
+        g.maximize("peak", 5)
+        g.maximize("peak", 3)
+        g.maximize("peak", 9)
+        assert g.get("peak") == 9
+
+    def test_children_are_memoized(self):
+        g = StatGroup("root")
+        assert g.child("a") is g.child("a")
+
+    def test_flatten_paths(self):
+        g = StatGroup("root")
+        g.add("top", 1)
+        g.child("sub").add("inner", 2)
+        flat = g.flatten()
+        assert flat == {"root.top": 1, "root.sub.inner": 2}
+
+    def test_total_sums_over_descendants(self):
+        g = StatGroup("root")
+        g.add("n", 1)
+        g.child("a").add("n", 2)
+        g.child("a").child("b").add("n", 3)
+        assert g.total("n") == 6
+
+
+# ----------------------------------------------------------------------
+# XorShift64
+# ----------------------------------------------------------------------
+class TestXorShift64:
+    def test_deterministic_for_same_seed(self):
+        a = XorShift64(123)
+        b = XorShift64(123)
+        assert [a.next_u64() for _ in range(20)] == [b.next_u64() for _ in range(20)]
+
+    def test_different_seeds_diverge(self):
+        a = XorShift64(1)
+        b = XorShift64(2)
+        assert [a.next_u64() for _ in range(5)] != [b.next_u64() for _ in range(5)]
+
+    def test_zero_seed_is_usable(self):
+        rng = XorShift64(0)
+        values = {rng.next_u64() for _ in range(10)}
+        assert len(values) == 10
+
+    @given(st.integers(0, 2**64 - 1), st.integers(-50, 50), st.integers(0, 100))
+    def test_randint_in_range(self, seed, lo, span):
+        rng = XorShift64(seed)
+        hi = lo + span
+        for _ in range(20):
+            assert lo <= rng.randint(lo, hi) <= hi
+
+    def test_randint_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            XorShift64(1).randint(5, 4)
+
+    @given(st.integers(0, 2**64 - 1))
+    def test_random_unit_interval(self, seed):
+        rng = XorShift64(seed)
+        for _ in range(20):
+            assert 0.0 <= rng.random() < 1.0
+
+    @given(st.integers(0, 2**64 - 1), st.integers(2, 64))
+    def test_choice_excluding_never_returns_excluded(self, seed, n):
+        rng = XorShift64(seed)
+        exclude = seed % n
+        for _ in range(30):
+            value = rng.choice_excluding(n, exclude)
+            assert 0 <= value < n
+            assert value != exclude
+
+    def test_choice_excluding_needs_two_options(self):
+        with pytest.raises(ValueError):
+            XorShift64(1).choice_excluding(1, 0)
+
+    def test_fork_produces_independent_stream(self):
+        parent = XorShift64(77)
+        child = parent.fork()
+        assert [parent.next_u64() for _ in range(5)] != [
+            child.next_u64() for _ in range(5)
+        ]
+
+    def test_choice_excluding_covers_all_other_values(self):
+        rng = XorShift64(9)
+        seen = {rng.choice_excluding(4, 2) for _ in range(200)}
+        assert seen == {0, 1, 3}

@@ -1,0 +1,28 @@
+"""Examples stay importable/compilable (full runs are exercised manually)."""
+
+import pathlib
+import py_compile
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert {"quickstart.py", "graph_analytics.py", "coherence_comparison.py",
+            "granularity_tuning.py", "custom_application.py"} <= names
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_has_main_guard_and_docstring(path):
+    source = path.read_text()
+    assert '__main__' in source
+    assert source.lstrip().startswith(('#!/usr/bin/env python\n"""', '"""'))

@@ -1,0 +1,58 @@
+"""Tests for the JSON/CSV result export module."""
+
+import csv
+import io
+import json
+
+from repro.harness import (
+    result_to_dict,
+    results_to_json,
+    rows_to_csv,
+    run_experiment,
+    series_to_csv,
+)
+
+
+def test_result_roundtrips_through_json():
+    result = run_experiment("cilk5-mt", "bt-hcc-gwb", "tiny")
+    payload = json.loads(results_to_json([result]))
+    assert len(payload) == 1
+    entry = payload[0]
+    assert entry["app"] == "cilk5-mt"
+    assert entry["kind"] == "bt-hcc-gwb"
+    assert entry["cycles"] == result.cycles
+    assert entry["energy_pj"] > 0
+    assert "wb_req" in entry["traffic_bytes"]
+
+
+def test_result_to_dict_flattens_energy():
+    result = run_experiment("cilk5-mt", "bt-mesi", "tiny")
+    entry = result_to_dict(result)
+    assert "energy" not in entry
+    assert set(entry["energy_breakdown_pj"]) >= {"cores", "l1", "l2"}
+
+
+def test_rows_to_csv():
+    rows = [{"app": "a", "x": 1.23456789}, {"app": "b", "x": 2, "extra": "y"}]
+    text = rows_to_csv(rows)
+    parsed = list(csv.DictReader(io.StringIO(text)))
+    assert parsed[0]["app"] == "a"
+    assert parsed[0]["x"].startswith("1.2345")
+    assert parsed[1]["extra"] == "y"
+    assert parsed[0]["extra"] == ""
+
+
+def test_rows_to_csv_empty():
+    assert rows_to_csv([]) == ""
+
+
+def test_series_to_csv():
+    data = {"app1": {"bt-mesi": 1.0, "bt-hcc-gwb": 1.2}}
+    text = series_to_csv(data)
+    lines = text.strip().splitlines()
+    assert lines[0] == "app,bt-mesi,bt-hcc-gwb"
+    assert lines[1].startswith("app1,1.0,1.2")
+
+
+def test_series_to_csv_empty():
+    assert series_to_csv({}) == ""

@@ -1,0 +1,168 @@
+"""Tests for extension features: Chase-Lev lock-free deques and the
+asymmetry-aware ("big-first") steal policy."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Task, WorkStealingRuntime
+from repro.core.chaselev import ChaseLevDeque
+from repro.cores import ops
+from repro.engine.simulator import SimulationError
+from repro.mem.address import WORD_BYTES
+
+from helpers import run_thread, tiny_machine
+
+
+def pyfib(n):
+    return n if n < 2 else pyfib(n - 1) + pyfib(n - 2)
+
+
+class FibTask(Task):
+    def __init__(self, n, out_addr):
+        super().__init__()
+        self.n = n
+        self.out_addr = out_addr
+
+    def execute(self, rt, ctx):
+        if self.n < 2:
+            yield from ctx.store(self.out_addr, self.n)
+            return
+        scratch = rt.machine.address_space.alloc_words(2, "s")
+        yield from rt.fork_join(
+            ctx, self,
+            [FibTask(self.n - 1, scratch), FibTask(self.n - 2, scratch + WORD_BYTES)],
+        )
+        x = yield from ctx.load(scratch)
+        y = yield from ctx.load(scratch + WORD_BYTES)
+        yield from ctx.store(self.out_addr, x + y)
+
+
+def drive(machine, core_id, gen):
+    result = {}
+
+    def wrapper():
+        result["value"] = yield from gen
+        if False:
+            yield
+
+    run_thread(machine, core_id, wrapper())
+    return result.get("value")
+
+
+class TestChaseLevDeque:
+    def test_push_take_lifo(self):
+        machine = tiny_machine()
+        dq = ChaseLevDeque(machine, 1, capacity=16)
+        ctxs = machine.make_contexts()
+
+        def body(ctx):
+            for task_id in (1, 2, 3):
+                yield from dq.push(ctx, task_id)
+            out = []
+            for _ in range(4):
+                out.append((yield from dq.take(ctx)))
+            return out
+
+        assert drive(machine, 1, body(ctxs[1])) == [3, 2, 1, 0]
+
+    def test_steal_fifo(self):
+        machine = tiny_machine()
+        dq = ChaseLevDeque(machine, 1, capacity=16)
+        ctxs = machine.make_contexts()
+
+        def body(ctx):
+            for task_id in (1, 2, 3):
+                yield from dq.push(ctx, task_id)
+            out = []
+            for _ in range(4):
+                out.append((yield from dq.steal(ctx)))
+            return out
+
+        assert drive(machine, 1, body(ctxs[1])) == [1, 2, 3, 0]
+
+    def test_overflow_raises(self):
+        machine = tiny_machine()
+        dq = ChaseLevDeque(machine, 1, capacity=2)
+        ctxs = machine.make_contexts()
+
+        def body(ctx):
+            for task_id in (1, 2, 3):
+                yield from dq.push(ctx, task_id)
+
+        with pytest.raises(SimulationError):
+            drive(machine, 1, body(ctxs[1]))
+
+    @pytest.mark.parametrize("kind", ("bt-mesi", "bt-hcc-gwb"))
+    def test_concurrent_owner_and_thieves_claim_each_item_once(self, kind):
+        machine = tiny_machine(kind)
+        dq = ChaseLevDeque(machine, 1, capacity=256)
+        claimed_addr = machine.address_space.alloc_words(64, "claimed")
+        ctxs = machine.make_contexts()
+
+        def owner(ctx):
+            for task_id in range(1, 33):
+                yield from dq.push(ctx, task_id)
+                yield from ctx.work(3)
+            while True:
+                got = yield from dq.take(ctx)
+                if not got:
+                    break
+                yield from ctx.amo_add(claimed_addr + (got - 1) * 8, 1)
+                yield from ctx.work(5)
+
+        def thief(ctx):
+            misses = 0
+            while misses < 30:
+                got = yield from dq.steal(ctx)
+                if got:
+                    misses = 0
+                    yield from ctx.amo_add(claimed_addr + (got - 1) * 8, 1)
+                    yield from ctx.work(5)
+                else:
+                    misses += 1
+                    yield from ctx.idle(7)
+
+        machine.cores[1].start(owner(ctxs[1]))
+        machine.cores[2].start(thief(ctxs[2]))
+        machine.cores[3].start(thief(ctxs[3]))
+        machine.sim.run()
+        counts = machine.host_read_array(claimed_addr, 32)
+        assert counts == [1] * 32  # every task claimed exactly once
+
+    @pytest.mark.parametrize("kind", ("bt-mesi", "bt-hcc-dnv", "bt-hcc-gwt", "bt-hcc-gwb"))
+    def test_runtime_with_chase_lev_correct(self, kind):
+        machine = tiny_machine(kind)
+        rt = WorkStealingRuntime(machine, deque_kind="chase-lev")
+        out = machine.address_space.alloc_words(1, "out")
+        rt.run(FibTask(9, out))
+        assert machine.host_read_word(out) == pyfib(9)
+
+    def test_chase_lev_rejected_with_dts(self):
+        with pytest.raises(ValueError):
+            WorkStealingRuntime(tiny_machine("bt-hcc-dts-gwb"), deque_kind="chase-lev")
+
+    def test_unknown_deque_kind_rejected(self):
+        with pytest.raises(ValueError):
+            WorkStealingRuntime(tiny_machine(), deque_kind="ring")
+
+
+class TestStealPolicy:
+    @pytest.mark.parametrize("kind", ("bt-mesi", "bt-hcc-dts-gwb"))
+    def test_big_first_policy_correct(self, kind):
+        machine = tiny_machine(kind)
+        rt = WorkStealingRuntime(machine, steal_policy="big-first")
+        out = machine.address_space.alloc_words(1, "out")
+        rt.run(FibTask(9, out))
+        assert machine.host_read_word(out) == pyfib(9)
+        assert rt.stats.get("steals") > 0
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            WorkStealingRuntime(tiny_machine(), steal_policy="chaotic")
+
+    def test_big_first_never_selects_self(self):
+        machine = tiny_machine()
+        rt = WorkStealingRuntime(machine, steal_policy="big-first")
+        ctx = rt.contexts[0]  # the only big core: must not pick itself
+        for _ in range(100):
+            assert rt._choose_victim(ctx) != 0

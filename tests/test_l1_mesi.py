@@ -1,0 +1,86 @@
+"""MESI protocol unit tests (driven directly against the L1/L2 models)."""
+
+from repro.mem.cacheline import EXCLUSIVE, MODIFIED, SHARED
+
+from helpers import tiny_machine
+
+
+def addr_of(machine):
+    return machine.address_space.alloc_words(8, "x")
+
+
+class TestMesiStates:
+    def setup_method(self, _):
+        self.machine = tiny_machine("bt-mesi")
+        self.l1s = self.machine.l1s
+        self.addr = addr_of(self.machine)
+        self.machine.host_write_word(self.addr, 11)
+
+    def test_first_load_grants_exclusive(self):
+        value, _ = self.l1s[0].load(self.addr, now=0)
+        assert value == 11
+        assert self.l1s[0].resident(self.addr).state == EXCLUSIVE
+
+    def test_second_reader_downgrades_to_shared(self):
+        self.l1s[0].load(self.addr, 0)
+        self.l1s[1].load(self.addr, 10)
+        assert self.l1s[0].resident(self.addr).state == SHARED
+        assert self.l1s[1].resident(self.addr).state == SHARED
+
+    def test_silent_e_to_m_upgrade(self):
+        self.l1s[0].load(self.addr, 0)
+        latency = self.l1s[0].store(self.addr, 22, 1)
+        assert latency == self.l1s[0].hit_latency
+        assert self.l1s[0].resident(self.addr).state == MODIFIED
+
+    def test_store_invalidates_other_sharers(self):
+        self.l1s[0].load(self.addr, 0)
+        self.l1s[1].load(self.addr, 1)
+        self.l1s[2].store(self.addr, 33, 2)
+        assert self.l1s[0].resident(self.addr) is None
+        assert self.l1s[1].resident(self.addr) is None
+        value, _ = self.l1s[2].load(self.addr, 3)
+        assert value == 33
+
+    def test_remote_load_recalls_dirty_owner(self):
+        self.l1s[0].store(self.addr, 44, 0)
+        value, _ = self.l1s[1].load(self.addr, 1)
+        assert value == 44
+        # Owner downgraded to S, stays resident.
+        assert self.l1s[0].resident(self.addr).state == SHARED
+
+    def test_amo_is_atomic_and_returns_old(self):
+        old, _ = self.l1s[0].amo("add", self.addr, 5, 0)
+        assert old == 11
+        old, _ = self.l1s[1].amo("add", self.addr, 1, 1)
+        assert old == 16
+        value, _ = self.l1s[2].load(self.addr, 2)
+        assert value == 17
+
+    def test_coherence_ops_are_noops(self):
+        self.l1s[0].store(self.addr, 55, 0)
+        assert self.l1s[0].invalidate_all(1) == 0
+        assert self.l1s[0].flush_all(2) == 0
+        assert self.l1s[0].resident(self.addr) is not None
+
+    def test_miss_latency_exceeds_hit_latency(self):
+        _, miss_latency = self.l1s[0].load(self.addr, 0)
+        _, hit_latency = self.l1s[0].load(self.addr, miss_latency)
+        assert hit_latency == self.l1s[0].hit_latency
+        assert miss_latency > hit_latency
+
+    def test_dirty_eviction_writes_back(self):
+        l1 = self.l1s[1]  # tiny core: 4KB, 2-way, 32 sets
+        set_stride = 32 * 64
+        base = self.machine.address_space.alloc(set_stride * 4, "evict")
+        l1.store(base, 1, 0)
+        l1.store(base + set_stride, 2, 1)
+        l1.store(base + 2 * set_stride, 3, 2)  # evicts the LRU dirty line
+        assert l1.stats.get("evictions") == 1
+        assert self.machine.l2.peek_word(base) == 1
+
+    def test_hit_rate_tracks_hits(self):
+        self.l1s[0].load(self.addr, 0)
+        self.l1s[0].load(self.addr, 1)
+        self.l1s[0].load(self.addr, 2)
+        assert abs(self.l1s[0].hit_rate() - 2 / 3) < 1e-9

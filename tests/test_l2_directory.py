@@ -1,0 +1,132 @@
+"""Shared L2 / heterogeneous directory unit tests."""
+
+from repro.mem.traffic import CATEGORIES
+
+from helpers import tiny_machine
+
+
+def fresh(kind="bt-mesi"):
+    machine = tiny_machine(kind)
+    addr = machine.address_space.alloc_words(8, "x")
+    machine.host_write_word(addr, 5)
+    return machine, addr
+
+
+class TestDirectory:
+    def test_sharer_list_tracks_mesi_readers(self):
+        machine, addr = fresh()
+        machine.l1s[1].load(addr, 0)
+        machine.l1s[2].load(addr, 1)
+        entry = machine.l2.directory_entry(addr)
+        assert entry.sharers == {1, 2}
+
+    def test_exclusive_grant_records_owner(self):
+        machine, addr = fresh()
+        machine.l1s[1].load(addr, 0)
+        entry = machine.l2.directory_entry(addr)
+        assert entry.owner == 1 and not entry.sharers
+
+    def test_getm_clears_sharers_and_sets_owner(self):
+        machine, addr = fresh()
+        machine.l1s[1].load(addr, 0)
+        machine.l1s[2].load(addr, 1)
+        machine.l1s[0].store(addr, 9, 2)
+        entry = machine.l2.directory_entry(addr)
+        assert entry.owner == 0
+        assert entry.sharers == set()
+
+    def test_untracked_gpu_readers_not_in_sharer_list(self):
+        machine, addr = fresh("bt-hcc-gwb")
+        machine.l1s[1].load(addr, 0)  # tiny gwb core
+        entry = machine.l2.directory_entry(addr)
+        assert 1 not in entry.sharers and entry.owner != 1
+
+    def test_foreign_writeback_invalidates_mesi_copies(self):
+        machine, addr = fresh("bt-hcc-gwb")
+        big, tiny = machine.l1s[0], machine.l1s[1]
+        big.load(addr, 0)  # big MESI core caches the line
+        tiny.store(addr, 70, 1)
+        tiny.flush_all(2)
+        value, _ = big.load(addr, 3)
+        assert value == 70  # MESI copy was invalidated, fresh fill
+
+    def test_write_through_invalidates_mesi_copies(self):
+        machine, addr = fresh("bt-hcc-gwt")
+        big, tiny = machine.l1s[0], machine.l1s[1]
+        big.store(addr, 50, 0)  # big core owns it dirty
+        tiny.store(addr, 60, 1)  # write-through must merge + invalidate
+        value, _ = big.load(addr, 2)
+        assert value == 60
+
+    def test_amo_at_l2_sees_mesi_owner_data(self):
+        machine, addr = fresh("bt-hcc-gwb")
+        big, tiny = machine.l1s[0], machine.l1s[1]
+        big.store(addr, 30, 0)  # dirty in big core's MESI L1
+        old, _ = tiny.amo("add", addr, 1, 1)
+        assert old == 30  # owner recalled before the AMO
+
+
+class TestL2Mechanics:
+    def test_bank_mapping_is_line_interleaved(self):
+        machine, _ = fresh()
+        l2 = machine.l2
+        assert l2.bank_of(0x1000) != l2.bank_of(0x1040) or l2.n_banks == 1
+        assert l2.bank_of(0x1000) == l2.bank_of(0x1000 + 64 * l2.n_banks)
+
+    def test_l2_miss_goes_to_dram(self):
+        machine, addr = fresh()
+        before = sum(mc.stats.get("accesses") for mc in machine.l2.dram)
+        machine.l1s[1].load(addr, 0)
+        after = sum(mc.stats.get("accesses") for mc in machine.l2.dram)
+        assert after == before + 1
+
+    def test_l2_hit_avoids_dram(self):
+        machine, addr = fresh()
+        machine.l1s[1].load(addr, 0)
+        before = sum(mc.stats.get("accesses") for mc in machine.l2.dram)
+        machine.l1s[2].load(addr, 1)
+        assert sum(mc.stats.get("accesses") for mc in machine.l2.dram) == before
+
+    def test_read_word_bypass_returns_latest(self):
+        machine, addr = fresh()
+        machine.l1s[1].store(addr, 123, 0)  # dirty in a MESI L1
+        value, latency = machine.l2.read_word_bypass(2, addr, 1)
+        assert value == 123
+        assert latency > 0
+
+    def test_l2_eviction_preserves_data_in_dram(self):
+        machine, addr = fresh(kind="bt-mesi")
+        # Shrink L2 to force evictions: 2 banks x 2KB, 2-way -> tiny L2.
+        small = tiny_machine("bt-mesi", l2_bank_bytes=2048, l2_assoc=2)
+        a = small.address_space.alloc_words(8, "a")
+        small.l1s[1].store(a, 42, 0)
+        small.l1s[1].flush_all(1)  # no-op on MESI but harmless
+        # Touch many distinct lines so that line a is evicted from L2.
+        filler = small.address_space.alloc(64 * 512, "filler")
+        now = 2
+        for i in range(256):
+            small.l1s[2].load(filler + i * 64, now)
+            now += 5
+        assert small.host_read_word(a) == 42
+
+    def test_traffic_categories_populated(self):
+        machine, addr = fresh()
+        machine.l1s[1].load(addr, 0)
+        machine.l1s[2].store(addr, 1, 1)
+        snap = machine.traffic.snapshot()
+        assert set(snap) == set(CATEGORIES)
+        assert snap["cpu_req"] > 0
+        assert snap["data_resp"] > 0
+        assert snap["dram_req"] > 0
+
+    def test_bank_queue_adds_delay_under_contention(self):
+        machine, _ = fresh()
+        base = machine.address_space.alloc_words(8, "hot")
+        machine.host_write_word(base, 1)
+        # Two misses to the same bank at the same cycle: the second queues.
+        _, lat1 = machine.l1s[1].load(base, 0)
+        other = machine.address_space.alloc_words(8, "hot2")
+        # Map to the same bank: stride by n_banks lines.
+        same_bank = base + 64 * machine.l2.n_banks
+        _, lat2 = machine.l1s[2].load(same_bank, 0)
+        assert lat2 >= lat1 - 5  # both paid the miss; second may queue more

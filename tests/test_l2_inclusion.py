@@ -1,0 +1,76 @@
+"""L2 eviction / inclusion edge cases with a deliberately tiny L2."""
+
+from helpers import tiny_machine
+
+
+def small_l2_machine(kind="bt-mesi"):
+    # 2 banks x 1KB, 2-way: 8 lines per bank -> evictions are easy to force.
+    return tiny_machine(kind, l2_bank_bytes=1024, l2_assoc=2)
+
+
+def fill_bank(machine, bank_id, n_lines, core_id=2, start_cycle=0):
+    """Touch n_lines distinct lines mapping to one bank."""
+    stride = 64 * machine.l2.n_banks
+    base = machine.address_space.alloc(stride * (n_lines + 2), "filler")
+    base += (bank_id - machine.l2.bank_of(base)) % machine.l2.n_banks * 64
+    now = start_cycle
+    for i in range(n_lines):
+        machine.l1s[core_id].load(base + i * stride, now)
+        now += 10
+    return now
+
+
+class TestL2Inclusion:
+    def test_eviction_recalls_mesi_owner(self):
+        machine = small_l2_machine()
+        addr = machine.address_space.alloc_words(1, "x")
+        machine.l1s[1].store(addr, 99, 0)  # M in core 1, owner in L2 dir
+        bank = machine.l2.bank_of(addr)
+        fill_bank(machine, bank, 8, core_id=2, start_cycle=10)
+        # The L2 line for addr may have been evicted; its dirty data must
+        # have been recalled from core 1 and written to DRAM.
+        assert machine.host_read_word(addr) == 99
+        if machine.l2.directory_entry(addr) is None:
+            # Inclusion: the owner's L1 copy was recalled on eviction.
+            assert machine.memory.read_word(addr) == 99
+
+    def test_eviction_invalidates_mesi_sharers(self):
+        machine = small_l2_machine()
+        addr = machine.address_space.alloc_words(1, "x")
+        machine.host_write_word(addr, 7)
+        machine.l1s[1].load(addr, 0)
+        machine.l1s[3].load(addr, 1)
+        bank = machine.l2.bank_of(addr)
+        fill_bank(machine, bank, 8, core_id=2, start_cycle=10)
+        if machine.l2.directory_entry(addr) is None:
+            # Inclusive L2: no L1 may retain the line after L2 eviction.
+            assert machine.l1s[1].resident(addr) is None
+            assert machine.l1s[3].resident(addr) is None
+
+    def test_gwb_dirty_survives_l2_eviction_via_refetch(self):
+        machine = small_l2_machine("bt-hcc-gwb")
+        addr = machine.address_space.alloc_words(1, "x")
+        machine.host_write_word(addr, 5)
+        tiny = machine.l1s[1]
+        tiny.store(addr, 50, 0)  # dirty word, untracked by the directory
+        bank = machine.l2.bank_of(addr)
+        fill_bank(machine, bank, 8, core_id=2, start_cycle=10)
+        # The L2 copy may be gone, but the flush must still land correctly:
+        # writeback_line refetches the line from DRAM and merges.
+        tiny.flush_all(1000)
+        assert machine.l2.peek_word(addr) == 50
+
+    def test_denovo_owner_recalled_on_l2_eviction(self):
+        machine = small_l2_machine("bt-hcc-dnv")
+        addr = machine.address_space.alloc_words(1, "x")
+        tiny = machine.l1s[1]
+        tiny.store(addr, 31, 0)  # registered dirty
+        bank = machine.l2.bank_of(addr)
+        fill_bank(machine, bank, 8, core_id=2, start_cycle=10)
+        assert machine.host_read_word(addr) == 31
+
+    def test_l2_statistics_track_evictions(self):
+        machine = small_l2_machine()
+        fill_bank(machine, 0, 12, core_id=1)
+        assert machine.l2.stats.get("evictions") > 0
+        assert machine.l2.stats.get("misses") >= 12

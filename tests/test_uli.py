@@ -1,0 +1,233 @@
+"""User-level interrupt (ULI) mechanism tests (Section IV)."""
+
+from repro.cores import ops
+
+from helpers import tiny_machine
+
+
+def setup_machine():
+    machine = tiny_machine("bt-hcc-dts-gwb")
+    return machine
+
+
+def run(machine):
+    return machine.sim.run()
+
+
+class TestUliHandshake:
+    def test_ack_when_enabled_and_handler_runs(self):
+        machine = setup_machine()
+        handled = []
+
+        def handler_factory(thief):
+            def handler(thief_id=thief):
+                handled.append(thief_id)
+                yield ops.Work(3)
+
+            return handler()
+
+        machine.cores[2].uli_handler_factory = handler_factory
+        acks = []
+
+        def victim():
+            yield ops.UliEnable()
+            yield ops.Idle(500)
+
+        def thief():
+            yield ops.Idle(10)
+            ack = yield ops.UliSend(2)
+            acks.append(ack)
+
+        machine.cores[2].start(victim())
+        machine.cores[1].start(thief())
+        run(machine)
+        assert acks == [True]
+        assert handled == [1]
+
+    def test_nack_when_disabled(self):
+        machine = setup_machine()
+        machine.cores[2].uli_handler_factory = lambda t: iter(())
+        acks = []
+
+        def victim():
+            yield ops.Idle(500)  # never enables ULI
+
+        def thief():
+            ack = yield ops.UliSend(2)
+            acks.append(ack)
+
+        machine.cores[2].start(victim())
+        machine.cores[1].start(thief())
+        run(machine)
+        assert acks == [False]
+
+    def test_nack_when_no_handler_installed(self):
+        machine = setup_machine()
+        acks = []
+
+        def victim():
+            yield ops.UliEnable()
+            yield ops.Idle(200)
+
+        def thief():
+            ack = yield ops.UliSend(2)
+            acks.append(ack)
+
+        machine.cores[2].start(victim())
+        machine.cores[1].start(thief())
+        run(machine)
+        assert acks == [False]
+
+    def test_nack_when_victim_halted(self):
+        machine = setup_machine()
+        machine.cores[2].uli_handler_factory = lambda t: iter(())
+        acks = []
+
+        def victim():
+            yield ops.UliEnable()  # halts immediately after
+
+        def thief():
+            yield ops.Idle(50)
+            ack = yield ops.UliSend(2)
+            acks.append(ack)
+
+        machine.cores[2].start(victim())
+        machine.cores[1].start(thief())
+        run(machine)
+        assert acks == [False]
+
+    def test_disable_window_nacks(self):
+        machine = setup_machine()
+        machine.cores[2].uli_handler_factory = lambda t: iter(())
+        acks = []
+
+        def victim():
+            yield ops.UliEnable()
+            yield ops.UliDisable()
+            yield ops.Idle(300)
+
+        def thief():
+            yield ops.Idle(20)
+            ack = yield ops.UliSend(2)
+            acks.append(ack)
+
+        machine.cores[2].start(victim())
+        machine.cores[1].start(thief())
+        run(machine)
+        assert acks == [False]
+
+
+class TestUliDelivery:
+    def test_handler_runs_at_op_boundary(self):
+        machine = setup_machine()
+        events = []
+
+        def handler_factory(thief):
+            def handler():
+                events.append(("handler", machine.sim.now))
+                yield ops.Work(1)
+
+            return handler()
+
+        machine.cores[2].uli_handler_factory = handler_factory
+
+        def victim():
+            yield ops.UliEnable()
+            events.append(("op_start", machine.sim.now))
+            yield ops.Work(100)  # request arrives mid-op
+            events.append(("op_end", machine.sim.now))
+            yield ops.Idle(100)
+
+        def thief():
+            yield ops.Idle(5)
+            yield ops.UliSend(2)
+
+        machine.cores[2].start(victim())
+        machine.cores[1].start(thief())
+        run(machine)
+        timeline = dict(events)
+        # The handler waited for the in-flight Work(100) to finish...
+        assert timeline["handler"] >= timeline["op_start"] + 100
+        # ...and the interrupted thread resumed only after the handler.
+        assert timeline["op_end"] > timeline["handler"]
+
+    def test_mutual_steal_does_not_deadlock(self):
+        machine = setup_machine()
+        acks = []
+
+        def handler_factory(thief):
+            def handler():
+                yield ops.Work(2)
+
+            return handler()
+
+        for core in machine.cores:
+            core.uli_handler_factory = handler_factory
+
+        def mutual(peer):
+            yield ops.UliEnable()
+            yield ops.Idle(3)
+            ack = yield ops.UliSend(peer)
+            acks.append(ack)
+            yield ops.Idle(50)
+
+        machine.cores[1].start(mutual(2))
+        machine.cores[2].start(mutual(1))
+        run(machine)
+        assert len(acks) == 2
+        assert all(acks)  # both serviced while blocked: no deadlock
+
+    def test_second_concurrent_request_nacked(self):
+        machine = setup_machine()
+
+        def handler_factory(thief):
+            def handler():
+                yield ops.Work(400)  # long handler occupies the receiver
+
+            return handler()
+
+        machine.cores[0].uli_handler_factory = handler_factory
+        acks = {}
+
+        def victim():
+            yield ops.UliEnable()
+            yield ops.Idle(2000)
+
+        def thief(tid, delay):
+            yield ops.Idle(delay)
+            ack = yield ops.UliSend(0)
+            acks[tid] = ack
+
+        machine.cores[0].start(victim())
+        machine.cores[1].start(thief(1, 5))
+        machine.cores[2].start(thief(2, 40))  # lands while handler is busy
+        run(machine)
+        assert acks[1] is True
+        assert acks[2] is False
+
+    def test_uli_stats_recorded(self):
+        machine = setup_machine()
+
+        def handler_factory(thief):
+            def handler():
+                yield ops.Work(1)
+
+            return handler()
+
+        machine.cores[2].uli_handler_factory = handler_factory
+
+        def victim():
+            yield ops.UliEnable()
+            yield ops.Idle(300)
+
+        def thief():
+            yield ops.Idle(5)
+            yield ops.UliSend(2)
+
+        machine.cores[2].start(victim())
+        machine.cores[1].start(thief())
+        run(machine)
+        net = machine.stats.child("uli_network")
+        assert net.get("messages") == 2  # request + response
+        assert machine.cores[1].stats.get("uli_acks") == 1
+        assert machine.cores[2].stats.get("uli_handled") == 1
