@@ -3,17 +3,43 @@
 For every kernel: Cilkview work/span/parallelism/IPT, speedup of O3x1/4/8
 and big.TINY/MESI over the serial in-order baseline, and the speedup of
 each HCC and HCC+DTS configuration relative to big.TINY/MESI.
+
+With ``REPRO_RESULTS_DIR`` set, a second invocation replays every result
+from the store; set ``REPRO_EXPECT_WARM_STORE=1`` to assert that the warm
+run performed zero simulations (CI's smoke job does exactly this).
 """
 
+import os
+
 from repro.config.system import DTS_KINDS
-from repro.harness import format_table3, headline_claims, table3
+from repro.harness import (
+    format_table3,
+    get_result_store,
+    headline_claims,
+    simulation_count,
+    table3,
+)
 
 from conftest import print_block
 
 
 def test_table3_main_results(benchmark, scale):
+    expect_warm = os.environ.get("REPRO_EXPECT_WARM_STORE", "") not in ("", "0")
+    store = get_result_store()
+    if store is not None:
+        store.reset_counters()
+    sims_before = simulation_count()
+
     rows = benchmark.pedantic(table3, args=(scale,), rounds=1, iterations=1)
     print_block(format_table3(rows))
+
+    if store is not None:
+        print_block(store.stats_line())
+    if expect_warm:
+        assert store is not None, "REPRO_EXPECT_WARM_STORE needs REPRO_RESULTS_DIR"
+        assert simulation_count() == sims_before, "warm run re-simulated"
+        assert store.misses == 0, "warm run missed the result store"
+
     summary = rows[-1]
 
     # Shape checks against the paper's geomeans (loose: our substrate is a

@@ -18,6 +18,27 @@ from repro.apps import PAPER_APPS, app_names
 from repro.config.system import CONFIG_KINDS, SCALES
 
 
+def _apply_harness_flags(args) -> None:
+    """Wire --jobs / --results-dir / --no-store into the harness."""
+    from repro.harness import set_default_jobs, set_result_store
+
+    if getattr(args, "no_store", False):
+        set_result_store(None)
+    elif getattr(args, "results_dir", None):
+        set_result_store(args.results_dir)
+    if getattr(args, "jobs", None) is not None:
+        set_default_jobs(args.jobs)
+
+
+def _report_store() -> None:
+    """One line of store telemetry on stderr (hits/misses this run)."""
+    from repro.harness import get_result_store
+
+    store = get_result_store()
+    if store is not None:
+        print(store.stats_line(), file=sys.stderr)
+
+
 def _cmd_list(_args) -> int:
     print("applications:")
     for name in app_names():
@@ -114,9 +135,29 @@ def main(argv=None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def positive_int(text: str) -> int:
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+        return value
+
+    harness_flags = argparse.ArgumentParser(add_help=False)
+    harness_flags.add_argument(
+        "--jobs", type=positive_int, default=None, metavar="N",
+        help="fan experiment grids out over N worker processes (default: "
+             "REPRO_JOBS or 1)")
+    harness_flags.add_argument(
+        "--results-dir", default=None, metavar="DIR",
+        help="persist results to DIR so warm reruns skip simulation "
+             "(default: REPRO_RESULTS_DIR)")
+    harness_flags.add_argument(
+        "--no-store", action="store_true",
+        help="disable the on-disk result store even if REPRO_RESULTS_DIR is set")
+
     sub.add_parser("list", help="list apps, configurations, and scales")
 
-    run_parser = sub.add_parser("run", help="run one app on one configuration")
+    run_parser = sub.add_parser(
+        "run", help="run one app on one configuration", parents=[harness_flags])
     run_parser.add_argument("app", choices=sorted(PAPER_APPS))
     run_parser.add_argument("--config", default="bt-hcc-dts-gwb", choices=CONFIG_KINDS)
     run_parser.add_argument("--scale", default="quick", choices=sorted(SCALES))
@@ -124,19 +165,23 @@ def main(argv=None) -> int:
     run_parser.add_argument("--baseline", action="store_true",
                             help="also run the serial-IO baseline and report speedup")
 
-    table_parser = sub.add_parser("table", help="regenerate a paper table")
+    table_parser = sub.add_parser(
+        "table", help="regenerate a paper table", parents=[harness_flags])
     table_parser.add_argument("number", type=int, choices=(1, 3, 4, 5))
     table_parser.add_argument("--scale", default="quick", choices=sorted(SCALES))
 
-    fig_parser = sub.add_parser("fig", help="regenerate a paper figure")
+    fig_parser = sub.add_parser(
+        "fig", help="regenerate a paper figure", parents=[harness_flags])
     fig_parser.add_argument("number", type=int, choices=(4, 5, 6, 7, 8))
     fig_parser.add_argument("--scale", default="quick", choices=sorted(SCALES))
 
-    ws_parser = sub.add_parser("workspan", help="Cilkview work/span analysis")
+    ws_parser = sub.add_parser(
+        "workspan", help="Cilkview work/span analysis", parents=[harness_flags])
     ws_parser.add_argument("app", choices=sorted(PAPER_APPS))
     ws_parser.add_argument("--scale", default="quick", choices=sorted(SCALES))
 
     args = parser.parse_args(argv)
+    _apply_harness_flags(args)
     handler = {
         "list": _cmd_list,
         "run": _cmd_run,
@@ -144,7 +189,10 @@ def main(argv=None) -> int:
         "fig": _cmd_fig,
         "workspan": _cmd_workspan,
     }[args.command]
-    return handler(args)
+    code = handler(args)
+    if args.command in ("run", "table", "fig", "workspan"):
+        _report_store()
+    return code
 
 
 if __name__ == "__main__":

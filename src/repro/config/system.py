@@ -182,6 +182,12 @@ def make_config(kind: str, scale: str = "quick", **overrides) -> SystemConfig:
         raise ValueError(f"unknown config kind {kind!r}; choose from {CONFIG_KINDS}")
 
     if overrides:
+        overrides = {
+            key: CacheParams(**value)
+            if key in ("big_l1", "tiny_l1") and isinstance(value, dict)
+            else value
+            for key, value in overrides.items()
+        }
         config = replace(config, **overrides)
     config.validate()
     return config

@@ -91,6 +91,7 @@ class WorkStealingRuntime:
         #: that probes a big core before falling back to random — big cores
         #: run the root of the task tree and hold the largest subtasks.
         self.steal_policy = steal_policy
+        self._big_core_ids = machine.big_core_ids()
         if deque_kind == "chase-lev" and variant == "dts":
             raise ValueError(
                 "DTS makes deques thread-private; a lock-free deque is moot"
@@ -221,8 +222,9 @@ class WorkStealingRuntime:
 
     def _choose_victim(self, ctx) -> int:
         if self.steal_policy == "big-first":
-            n_big = self.machine.config.n_big
-            big_candidates = [c for c in range(n_big) if c != ctx.tid]
+            # Probe an actual big core: candidates come from the machine's
+            # big-core id list, not an assumed 0..n_big-1 id range.
+            big_candidates = [c for c in self._big_core_ids if c != ctx.tid]
             if big_candidates and ctx.rng.random() < 0.5:
                 return big_candidates[ctx.rng.randint(0, len(big_candidates) - 1)]
         return ctx.choose_victim()

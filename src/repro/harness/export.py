@@ -13,6 +13,7 @@ import json
 from dataclasses import asdict
 from typing import Dict, List, Sequence
 
+from repro.analysis.energy import EnergyReport
 from repro.harness.runner import ExperimentResult
 
 
@@ -23,6 +24,21 @@ def result_to_dict(result: ExperimentResult) -> dict:
     out["energy_pj"] = energy["total_pj"]
     out["energy_breakdown_pj"] = energy["breakdown_pj"]
     return out
+
+
+def result_from_dict(data: dict) -> ExperimentResult:
+    """Revive an ExperimentResult from :func:`result_to_dict` output.
+
+    The round trip is lossless (ints stay ints; floats survive JSON's
+    repr-based round trip exactly), which is what lets the result store
+    and the grid workers stand in for live simulations bit-for-bit.
+    """
+    data = dict(data)
+    energy = EnergyReport(
+        total_pj=data.pop("energy_pj"),
+        breakdown_pj=dict(data.pop("energy_breakdown_pj")),
+    )
+    return ExperimentResult(energy=energy, **data)
 
 
 def results_to_json(results: Sequence[ExperimentResult], indent: int = 2) -> str:
@@ -59,11 +75,12 @@ def series_to_csv(data: Dict[str, Dict[str, float]]) -> str:
     writer = csv.writer(buffer)
     writer.writerow(["app"] + configs)
     for app_name, series in data.items():
-        writer.writerow([app_name] + [series.get(k, "") for k in configs])
+        writer.writerow([app_name] + [_scalar(series.get(k, "")) for k in configs])
     return buffer.getvalue()
 
 
 def _scalar(value):
+    """Uniform float formatting for both table and figure CSVs."""
     if isinstance(value, float):
         return f"{value:.6g}"
     return value

@@ -8,11 +8,12 @@ prints it.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.apps import PAPER_APPS
 from repro.config.system import BIGTINY_KINDS
 from repro.cores.core import TIME_CATEGORIES
+from repro.harness.grid import GridPoint, expand_grid, run_grid
 from repro.harness.runner import run_experiment, run_serial_baseline, workspan
 from repro.mem.traffic import CATEGORIES
 
@@ -36,8 +37,15 @@ def fig4_granularity(
     app_name: str = "ligra-tc",
     grains: Sequence[int] = (2, 4, 8, 16, 32, 64),
     kind: str = "bt-mesi",
+    jobs: Optional[int] = None,
 ) -> List[dict]:
     """Sweep task granularity for one app (paper: ligra-tc on 64 cores)."""
+    points = [GridPoint(app_name, "serial-io", scale, serial=True)]
+    points += [
+        GridPoint(app_name, kind, scale, app_overrides={"grain": grain})
+        for grain in grains
+    ]
+    run_grid(points, jobs=jobs)
     rows = []
     serial = run_serial_baseline(app_name, scale)
     for grain in grains:
@@ -69,8 +77,11 @@ def format_fig4(rows: List[dict], app_name: str = "ligra-tc") -> str:
 # ----------------------------------------------------------------------
 # Figures 5-8 — per-app, per-config series normalized to big.TINY/MESI
 # ----------------------------------------------------------------------
-def fig5_speedup(scale: str, apps: Sequence[str] = PAPER_APPS) -> Dict[str, Dict[str, float]]:
+def fig5_speedup(
+    scale: str, apps: Sequence[str] = PAPER_APPS, jobs: Optional[int] = None
+) -> Dict[str, Dict[str, float]]:
     """Speedup of each big.TINY config relative to big.TINY/MESI."""
+    run_grid(expand_grid(apps, BIGTINY_KINDS, (scale,)), jobs=jobs)
     data = {}
     for app_name in apps:
         mesi = run_experiment(app_name, "bt-mesi", scale)
@@ -81,8 +92,11 @@ def fig5_speedup(scale: str, apps: Sequence[str] = PAPER_APPS) -> Dict[str, Dict
     return data
 
 
-def fig6_hitrate(scale: str, apps: Sequence[str] = PAPER_APPS) -> Dict[str, Dict[str, float]]:
+def fig6_hitrate(
+    scale: str, apps: Sequence[str] = PAPER_APPS, jobs: Optional[int] = None
+) -> Dict[str, Dict[str, float]]:
     """Tiny-core L1 data cache hit rate per app and config."""
+    run_grid(expand_grid(apps, BIGTINY_KINDS, (scale,)), jobs=jobs)
     data = {}
     for app_name in apps:
         data[app_name] = {
@@ -92,8 +106,11 @@ def fig6_hitrate(scale: str, apps: Sequence[str] = PAPER_APPS) -> Dict[str, Dict
     return data
 
 
-def fig7_breakdown(scale: str, apps: Sequence[str] = PAPER_APPS) -> Dict[str, Dict[str, Dict[str, float]]]:
+def fig7_breakdown(
+    scale: str, apps: Sequence[str] = PAPER_APPS, jobs: Optional[int] = None
+) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Aggregated tiny-core execution-time breakdown, normalized to MESI."""
+    run_grid(expand_grid(apps, BIGTINY_KINDS, (scale,)), jobs=jobs)
     data = {}
     for app_name in apps:
         mesi_total = sum(
@@ -110,8 +127,11 @@ def fig7_breakdown(scale: str, apps: Sequence[str] = PAPER_APPS) -> Dict[str, Di
     return data
 
 
-def fig8_traffic(scale: str, apps: Sequence[str] = PAPER_APPS) -> Dict[str, Dict[str, Dict[str, float]]]:
+def fig8_traffic(
+    scale: str, apps: Sequence[str] = PAPER_APPS, jobs: Optional[int] = None
+) -> Dict[str, Dict[str, Dict[str, float]]]:
     """On-chip network traffic by category, normalized to MESI total."""
+    run_grid(expand_grid(apps, BIGTINY_KINDS, (scale,)), jobs=jobs)
     data = {}
     for app_name in apps:
         mesi_total = run_experiment(app_name, "bt-mesi", scale).total_traffic
@@ -158,12 +178,15 @@ def format_stacked(
 # ----------------------------------------------------------------------
 # Section VI-C — DTS overhead characterization
 # ----------------------------------------------------------------------
-def dts_overhead(scale: str, apps: Sequence[str] = PAPER_APPS) -> List[dict]:
+def dts_overhead(
+    scale: str, apps: Sequence[str] = PAPER_APPS, jobs: Optional[int] = None
+) -> List[dict]:
     """ULI network utilization, latency, and DTS time share per app.
 
     The paper reports <5% ULI network utilization, ~50-cycle average ULI
     latency, and <1% of execution time spent on DTS.
     """
+    run_grid(expand_grid(apps, ("bt-hcc-dts-gwb",), (scale,)), jobs=jobs)
     rows = []
     for app_name in apps:
         res = run_experiment(app_name, "bt-hcc-dts-gwb", scale)

@@ -1,0 +1,327 @@
+"""Parallel experiment grid: fan an (app, config, scale) grid over workers.
+
+Every paper artifact (Tables III-V, Figures 5-8) is derived from the same
+experiment grid.  :func:`run_grid` executes a list of :class:`GridPoint`s
+either serially in-process or on a pool of ``multiprocessing`` workers,
+with a per-run timeout, one retry on failure, and an optional progress/ETA
+line.  Completed results are adopted into the parent's memo cache (and the
+persistent result store when one is configured), so the table/figure
+producers that follow hit the cache instead of re-simulating.
+
+Determinism: a simulation's outcome is a pure function of its grid point —
+every Machine seeds its own RNG from the configuration — so a parallel run
+is bit-identical to a serial one.  Workers return results serialized
+through ``result_to_dict`` and the parent revives them with
+``result_from_dict``; Python's JSON float round-trip is exact, so even
+float fields survive the process boundary unchanged (this is asserted by
+``tests/test_grid.py``).
+
+Worker count resolution order: explicit ``jobs=`` argument, then
+:func:`set_default_jobs` (the CLI's ``--jobs``), then the ``REPRO_JOBS``
+environment variable, then 1 (serial).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+import time
+from collections import deque
+from dataclasses import dataclass, field, fields
+from typing import Dict, List, Optional, Sequence
+
+import repro.harness.runner as runner
+from repro.harness.runner import ExperimentResult
+
+
+class GridError(RuntimeError):
+    """A grid point failed (or timed out) on every allowed attempt."""
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One cell of the experiment grid: run_experiment's arguments."""
+
+    app: str
+    kind: str
+    scale: str
+    serial: bool = False
+    check: bool = True
+    app_overrides: Optional[dict] = None
+    runtime_kwargs: Optional[dict] = None
+    config_overrides: Optional[dict] = None
+
+    def label(self) -> str:
+        parts = [self.app, self.kind, self.scale]
+        if self.serial:
+            parts.append("serial")
+        if self.app_overrides:
+            parts.append(f"app={self.app_overrides}")
+        if self.runtime_kwargs:
+            parts.append(f"rt={self.runtime_kwargs}")
+        if self.config_overrides:
+            parts.append(f"cfg={self.config_overrides}")
+        return " ".join(parts)
+
+    def as_fields(self) -> dict:
+        """Constructor kwargs (picklable; rebuilds the point in a worker)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def run_kwargs(self) -> dict:
+        """Keyword arguments for :func:`repro.harness.runner.run_experiment`."""
+        return dict(
+            app_name=self.app,
+            kind=self.kind,
+            scale=self.scale,
+            serial=self.serial,
+            check=self.check,
+            app_overrides=self.app_overrides,
+            runtime_kwargs=self.runtime_kwargs,
+            config_overrides=self.config_overrides,
+        )
+
+
+def expand_grid(
+    apps: Sequence[str],
+    kinds: Sequence[str],
+    scales: Sequence[str],
+    **common,
+) -> List[GridPoint]:
+    """The full cross product, app-major (the paper's presentation order)."""
+    return [
+        GridPoint(app, kind, scale, **common)
+        for app in apps
+        for kind in kinds
+        for scale in scales
+    ]
+
+
+# ----------------------------------------------------------------------
+# Default worker count
+# ----------------------------------------------------------------------
+_DEFAULT_JOBS: Optional[int] = None
+
+
+def set_default_jobs(jobs: Optional[int]) -> None:
+    """Process-wide default for ``run_grid(jobs=None)`` (CLI ``--jobs``)."""
+    global _DEFAULT_JOBS
+    if jobs is not None and jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    _DEFAULT_JOBS = jobs
+
+
+def default_jobs() -> int:
+    if _DEFAULT_JOBS is not None:
+        return _DEFAULT_JOBS
+    env = os.environ.get("REPRO_JOBS", "")
+    try:
+        return max(1, int(env))
+    except ValueError:
+        return 1
+
+
+def _progress_enabled(progress: Optional[bool]) -> bool:
+    if progress is not None:
+        return progress
+    return os.environ.get("REPRO_PROGRESS", "") not in ("", "0")
+
+
+class _Progress:
+    """A single overwriting [done/total + ETA] line on stderr."""
+
+    def __init__(self, total: int, enabled: bool):
+        self.total = total
+        self.enabled = enabled
+        self.done = 0
+        self.start = time.monotonic()
+
+    def step(self, label: str) -> None:
+        self.done += 1
+        if not self.enabled:
+            return
+        elapsed = time.monotonic() - self.start
+        eta = elapsed / self.done * (self.total - self.done)
+        sys.stderr.write(
+            f"\r[{self.done}/{self.total}] {label:<48.48s} "
+            f"elapsed {elapsed:6.1f}s  ETA {eta:6.1f}s"
+        )
+        if self.done == self.total:
+            sys.stderr.write("\n")
+        sys.stderr.flush()
+
+    def note(self, message: str) -> None:
+        if self.enabled:
+            sys.stderr.write(f"\n{message}\n")
+            sys.stderr.flush()
+
+
+# ----------------------------------------------------------------------
+# Worker process entry point
+# ----------------------------------------------------------------------
+def _worker_entry(conn, point_kwargs: dict, results_dir: Optional[str]) -> None:
+    """Run one grid point in a child process; ship the result (or the
+    failure) back through ``conn`` as JSON-safe plain data."""
+    try:
+        runner.set_result_store(results_dir)
+        point = GridPoint(**point_kwargs)
+        result = runner.run_experiment(**point.run_kwargs())
+        from repro.harness.export import result_to_dict
+
+        conn.send(("ok", result_to_dict(result)))
+    except BaseException as exc:  # report, never hang the parent
+        import traceback
+
+        try:
+            conn.send(("err", f"{exc!r}\n{traceback.format_exc()}"))
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+def _mp_context():
+    """Prefer fork (cheap, inherits loaded modules); fall back to spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+@dataclass
+class _Running:
+    point: GridPoint
+    proc: "multiprocessing.process.BaseProcess"
+    conn: object
+    deadline: Optional[float]
+    attempt: int = 1
+
+
+# ----------------------------------------------------------------------
+# The grid driver
+# ----------------------------------------------------------------------
+def run_grid(
+    points: Sequence[GridPoint],
+    jobs: Optional[int] = None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    progress: Optional[bool] = None,
+) -> List[ExperimentResult]:
+    """Run every grid point; return results in input order.
+
+    ``jobs > 1`` fans points out over a process pool; each run gets at most
+    ``timeout`` wall-clock seconds (None = unlimited) and ``retries`` fresh
+    attempts after a failure or timeout before :class:`GridError` is
+    raised.  All completed results are adopted into the in-process memo
+    cache and the configured result store, so follow-up ``run_experiment``
+    calls for the same points are free.
+    """
+    points = list(points)
+    if jobs is None:
+        jobs = default_jobs()
+    meter = _Progress(len(points), _progress_enabled(progress))
+    if not points:
+        return []
+    if jobs <= 1 or len(points) == 1:
+        results = []
+        for point in points:
+            results.append(runner.run_experiment(**point.run_kwargs()))
+            meter.step(point.label())
+        return results
+    return _run_parallel(points, jobs, timeout, retries, meter)
+
+
+def _run_parallel(
+    points: List[GridPoint],
+    jobs: int,
+    timeout: Optional[float],
+    retries: int,
+    meter: _Progress,
+) -> List[ExperimentResult]:
+    from repro.harness.export import result_from_dict
+
+    store = runner.get_result_store()
+    results_dir = str(store.root) if store is not None else None
+    ctx = _mp_context()
+    pending = deque(enumerate(points))
+    running: Dict[int, _Running] = {}
+    results: List[Optional[ExperimentResult]] = [None] * len(points)
+
+    def spawn(idx: int, point: GridPoint, attempt: int) -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_worker_entry,
+            args=(child_conn, point.as_fields(), results_dir),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        deadline = (time.monotonic() + timeout) if timeout else None
+        running[idx] = _Running(point, proc, parent_conn, deadline, attempt)
+
+    def reap(idx: int) -> None:
+        slot = running.pop(idx)
+        slot.conn.close()
+        if slot.proc.is_alive():
+            slot.proc.terminate()
+        slot.proc.join()
+
+    def fail(idx: int, reason: str) -> None:
+        slot = running[idx]
+        reap(idx)
+        if slot.attempt <= retries:
+            meter.note(
+                f"retrying {slot.point.label()} "
+                f"(attempt {slot.attempt + 1}): {reason.splitlines()[0]}"
+            )
+            spawn(idx, slot.point, slot.attempt + 1)
+        else:
+            for other in list(running):
+                reap(other)
+            raise GridError(
+                f"grid point {slot.point.label()} failed after "
+                f"{slot.attempt} attempt(s): {reason}"
+            )
+
+    try:
+        while pending or running:
+            while pending and len(running) < jobs:
+                idx, point = pending.popleft()
+                spawn(idx, point, attempt=1)
+            made_progress = False
+            for idx in list(running):
+                slot = running[idx]
+                if slot.conn.poll(0):
+                    try:
+                        status, payload = slot.conn.recv()
+                    except (EOFError, OSError):
+                        made_progress = True
+                        fail(idx, "worker died before reporting a result")
+                        continue
+                    made_progress = True
+                    if status == "ok":
+                        reap(idx)
+                        result = result_from_dict(payload)
+                        runner.adopt_result(
+                            result,
+                            app_overrides=slot.point.app_overrides,
+                            runtime_kwargs=slot.point.runtime_kwargs,
+                            config_overrides=slot.point.config_overrides,
+                        )
+                        results[idx] = result
+                        meter.step(slot.point.label())
+                    else:
+                        fail(idx, payload)
+                elif not slot.proc.is_alive():
+                    made_progress = True
+                    fail(idx, f"worker exited with code {slot.proc.exitcode}")
+                elif slot.deadline is not None and time.monotonic() > slot.deadline:
+                    made_progress = True
+                    fail(idx, f"timed out after {timeout}s")
+            if not made_progress:
+                time.sleep(0.02)
+    finally:
+        for idx in list(running):
+            reap(idx)
+    return results  # type: ignore[return-value]

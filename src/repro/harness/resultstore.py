@@ -1,0 +1,109 @@
+"""Persistent experiment-result store.
+
+Every table and figure of the paper is derived from the same app x config
+grid, so the harness keeps a gem5-style results database: each completed
+experiment is written to an on-disk JSON file keyed by a canonical hash of
+everything that determines its outcome (resolved app parameters, the fully
+resolved system configuration, runtime kwargs, and the code version).  A
+warm rerun of any benchmark then performs zero simulations.
+
+Layout (one file per result, sharded by the first two hash digits)::
+
+    <results-dir>/
+        ab/abcdef0123....json    {"key": {...}, "result": {...}}
+        cd/cdef4567....json      {"key": {...}, "workspan": {...}}
+
+The store knows nothing about :class:`ExperimentResult`; it persists plain
+JSON payload dicts.  Serialization lives in ``repro.harness.export`` and
+the key construction in ``repro.harness.runner``, keeping this module free
+of import cycles.
+
+Keys are canonicalized by ``json.dumps(key, sort_keys=True, default=repr)``
+and hashed with SHA-256, so dict ordering never matters and non-JSON values
+(e.g. ``CacheParams`` overrides) participate through their deterministic
+``repr``.  Bump :data:`STORE_SCHEMA` whenever simulation semantics change
+in a way that invalidates archived results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Optional
+
+#: Schema/version tag mixed into every key; bump to invalidate old stores.
+STORE_SCHEMA = 1
+
+
+def hash_key(key: dict) -> str:
+    """Canonical SHA-256 digest of a JSON-able key dict."""
+    text = json.dumps(key, sort_keys=True, default=repr)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class ResultStore:
+    """On-disk JSON store of experiment payloads with hit/miss counters."""
+
+    def __init__(self, root):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Paths and keys
+    # ------------------------------------------------------------------
+    def path_for(self, key: dict) -> Path:
+        digest = hash_key(key)
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def contains(self, key: dict) -> bool:
+        """Existence check that does not touch the hit/miss counters."""
+        return self.path_for(key).is_file()
+
+    # ------------------------------------------------------------------
+    # Load / store
+    # ------------------------------------------------------------------
+    def load(self, key: dict) -> Optional[dict]:
+        """Return the payload stored under ``key``, or None (counted)."""
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            # Missing, unreadable, or truncated (e.g. a crashed writer
+            # predating atomic replace): treat as a miss.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def store(self, key: dict, payload: dict) -> Path:
+        """Atomically persist ``payload`` under ``key``; returns the path.
+
+        Writes go to a per-process temporary file followed by an atomic
+        rename, so concurrent grid workers racing on the same key can never
+        leave a torn file; last writer wins with identical content.
+        """
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+        os.replace(tmp, path)
+        return path
+
+    # ------------------------------------------------------------------
+    # Introspection / maintenance
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def stats_line(self) -> str:
+        return f"result store {self.root}: {self.hits} hits, {self.misses} misses"

@@ -1,22 +1,31 @@
 """Experiment runner: one (app, config, scale) simulation -> ExperimentResult.
 
-Results are memoized per process so that the Table III runs feed Figures
-5-8 without re-simulating, the way a results database would in the paper's
-gem5 workflow.
+Results are memoized per process *and* persisted to an optional on-disk
+:class:`repro.harness.resultstore.ResultStore`, the way a results database
+would in the paper's gem5 workflow: the Table III runs feed Figures 5-8
+without re-simulating, and a warm rerun of any benchmark against the same
+results directory performs zero simulations.
+
+The store is configured explicitly with :func:`set_result_store` (the CLI's
+``--results-dir`` / ``--no-store`` flags) or ambiently via the
+``REPRO_RESULTS_DIR`` environment variable.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 
+from repro import __version__
 from repro.analysis.cilkview import CilkviewAnalyzer, WorkSpanReport
 from repro.analysis.energy import EnergyReport, estimate_energy
 from repro.apps import make_app
 from repro.config import make_config
 from repro.core import WorkStealingRuntime
 from repro.harness.params import app_params
+from repro.harness.resultstore import STORE_SCHEMA, ResultStore
 from repro.machine import Machine
 
 
@@ -56,10 +65,131 @@ class ExperimentResult:
 _CACHE: Dict[Tuple, ExperimentResult] = {}
 _WORKSPAN_CACHE: Dict[Tuple, WorkSpanReport] = {}
 
+#: Number of timed machine simulations actually executed in this process
+#: (cache and store hits do not count) — the quantity warm-store smoke
+#: tests assert to be zero.
+_SIM_COUNT = 0
+
+#: Lazily initialized process-wide result store; the sentinel means "not
+#: configured yet, consult REPRO_RESULTS_DIR on first use".
+_STORE_UNSET = object()
+_STORE: Union[object, Optional[ResultStore]] = _STORE_UNSET
+
 
 def default_scale() -> str:
     """Benchmark scale, overridable with REPRO_SCALE=paper|large|quick."""
     return os.environ.get("REPRO_SCALE", "quick")
+
+
+def simulation_count() -> int:
+    """How many real simulations this process has executed so far."""
+    return _SIM_COUNT
+
+
+# ----------------------------------------------------------------------
+# Result store configuration
+# ----------------------------------------------------------------------
+def get_result_store() -> Optional[ResultStore]:
+    """The process-wide result store (REPRO_RESULTS_DIR), or None."""
+    global _STORE
+    if _STORE is _STORE_UNSET:
+        path = os.environ.get("REPRO_RESULTS_DIR")
+        _STORE = ResultStore(path) if path else None
+    return _STORE
+
+
+def set_result_store(store) -> Optional[ResultStore]:
+    """Install ``store`` (a ResultStore, a directory path, or None)."""
+    global _STORE
+    if store is None or isinstance(store, ResultStore):
+        _STORE = store
+    else:
+        _STORE = ResultStore(store)
+    return _STORE
+
+
+# ----------------------------------------------------------------------
+# Canonical keys
+# ----------------------------------------------------------------------
+def canonicalize(value):
+    """Recursively reduce ``value`` to a hashable, order-independent form.
+
+    Dicts become key-sorted tuples of (key, canonical value) pairs, lists
+    and tuples become tuples, sets become repr-sorted tuples.  This is the
+    memo-key form; the on-disk store applies the same discipline through
+    ``json.dumps(sort_keys=True)``.
+    """
+    if isinstance(value, dict):
+        return tuple((k, canonicalize(value[k])) for k in sorted(value))
+    if isinstance(value, (list, tuple)):
+        return tuple(canonicalize(v) for v in value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted((canonicalize(v) for v in value), key=repr))
+    return value
+
+
+def memo_key(
+    app_name: str,
+    kind: str,
+    scale: str,
+    serial: bool = False,
+    app_overrides: Optional[dict] = None,
+    runtime_kwargs: Optional[dict] = None,
+    config_overrides: Optional[dict] = None,
+) -> Tuple:
+    """The in-process memo key for one experiment (always hashable)."""
+    return (
+        app_name,
+        kind,
+        scale,
+        bool(serial),
+        canonicalize(app_overrides or {}),
+        canonicalize(runtime_kwargs or {}),
+        canonicalize(config_overrides or {}),
+    )
+
+
+def _experiment_store_key(
+    app_name: str,
+    kind: str,
+    scale: str,
+    serial: bool,
+    app_overrides: Optional[dict],
+    runtime_kwargs: Optional[dict],
+    config_overrides: Optional[dict],
+) -> dict:
+    """The persistent store key: resolved params + config + code version.
+
+    App parameters and the system configuration are resolved before
+    hashing, so editing a scale preset or an input table invalidates
+    exactly the affected entries.
+    """
+    config = make_config(kind, scale, **(config_overrides or {}))
+    return {
+        "schema": STORE_SCHEMA,
+        "code_version": __version__,
+        "experiment": {
+            "app": app_name,
+            "kind": kind,
+            "scale": scale,
+            "serial": bool(serial),
+            "app_params": app_params(app_name, scale, **(app_overrides or {})),
+            "runtime_kwargs": runtime_kwargs or {},
+            "config": dataclasses.asdict(config),
+        },
+    }
+
+
+def _workspan_store_key(app_name: str, scale: str, overrides: dict) -> dict:
+    return {
+        "schema": STORE_SCHEMA,
+        "code_version": __version__,
+        "workspan": {
+            "app": app_name,
+            "scale": scale,
+            "app_params": app_params(app_name, scale, **overrides),
+        },
+    }
 
 
 def run_experiment(
@@ -74,18 +204,29 @@ def run_experiment(
     config_overrides: Optional[dict] = None,
 ) -> ExperimentResult:
     """Simulate ``app_name`` on configuration ``kind`` at ``scale``."""
-    key = (
-        app_name,
-        kind,
-        scale,
-        serial,
-        tuple(sorted((app_overrides or {}).items())),
-        tuple(sorted((runtime_kwargs or {}).items())),
-        tuple(sorted((config_overrides or {}).items())),
+    key = memo_key(
+        app_name, kind, scale, serial, app_overrides, runtime_kwargs, config_overrides
     )
     if use_cache and key in _CACHE:
         return _CACHE[key]
 
+    store = get_result_store() if use_cache else None
+    store_key = None
+    if store is not None:
+        store_key = _experiment_store_key(
+            app_name, kind, scale, serial,
+            app_overrides, runtime_kwargs, config_overrides,
+        )
+        payload = store.load(store_key)
+        if payload is not None:
+            from repro.harness.export import result_from_dict
+
+            result = result_from_dict(payload["result"])
+            _CACHE[key] = result
+            return result
+
+    global _SIM_COUNT
+    _SIM_COUNT += 1
     params = app_params(app_name, scale, **(app_overrides or {}))
     app = make_app(app_name, **params)
     machine = Machine(make_config(kind, scale, **(config_overrides or {})))
@@ -136,7 +277,38 @@ def run_experiment(
     )
     if use_cache:
         _CACHE[key] = result
+    if store is not None:
+        from repro.harness.export import result_to_dict
+
+        store.store(store_key, {"key": store_key, "result": result_to_dict(result)})
     return result
+
+
+def adopt_result(
+    result: ExperimentResult,
+    app_overrides: Optional[dict] = None,
+    runtime_kwargs: Optional[dict] = None,
+    config_overrides: Optional[dict] = None,
+) -> None:
+    """Insert an externally computed result (e.g. from a grid worker) into
+    the in-process memo cache and, when configured, the result store."""
+    key = memo_key(
+        result.app, result.kind, result.scale, result.serial,
+        app_overrides, runtime_kwargs, config_overrides,
+    )
+    _CACHE[key] = result
+    store = get_result_store()
+    if store is not None:
+        store_key = _experiment_store_key(
+            result.app, result.kind, result.scale, result.serial,
+            app_overrides, runtime_kwargs, config_overrides,
+        )
+        if not store.contains(store_key):
+            from repro.harness.export import result_to_dict
+
+            store.store(
+                store_key, {"key": store_key, "result": result_to_dict(result)}
+            )
 
 
 def run_serial_baseline(app_name: str, scale: str, **kwargs) -> ExperimentResult:
@@ -146,15 +318,29 @@ def run_serial_baseline(app_name: str, scale: str, **kwargs) -> ExperimentResult
 
 def workspan(app_name: str, scale: str, **overrides) -> WorkSpanReport:
     """Cilkview work/span analysis of the app at this scale's input."""
-    key = (app_name, scale, tuple(sorted(overrides.items())))
+    key = (app_name, scale, canonicalize(overrides))
     if key in _WORKSPAN_CACHE:
         return _WORKSPAN_CACHE[key]
+    store = get_result_store()
+    store_key = None
+    if store is not None:
+        store_key = _workspan_store_key(app_name, scale, overrides)
+        payload = store.load(store_key)
+        if payload is not None:
+            report = WorkSpanReport(**payload["workspan"])
+            _WORKSPAN_CACHE[key] = report
+            return report
     params = app_params(app_name, scale, **overrides)
     app = make_app(app_name, **params)
     analyzer = CilkviewAnalyzer()
     app.setup(analyzer.machine)
     report = analyzer.analyze(app.make_root())
     _WORKSPAN_CACHE[key] = report
+    if store is not None:
+        store.store(
+            store_key,
+            {"key": store_key, "workspan": dataclasses.asdict(report)},
+        )
     return report
 
 

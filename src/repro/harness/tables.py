@@ -3,10 +3,11 @@
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.apps import PAPER_APPS, make_app
 from repro.config.system import BIGTINY_KINDS, DTS_KINDS, HCC_KINDS
+from repro.harness.grid import GridPoint, run_grid
 from repro.harness.params import TABLE5_APPS, app_params
 from repro.harness.runner import run_experiment, run_serial_baseline, workspan
 from repro.mem.l1 import PROTOCOLS
@@ -66,8 +67,14 @@ def format_table1(rows: List[dict]) -> str:
 # ----------------------------------------------------------------------
 # Table III — the main results table
 # ----------------------------------------------------------------------
-def table3(scale: str, apps: Sequence[str] = PAPER_APPS) -> List[dict]:
+def table3(
+    scale: str, apps: Sequence[str] = PAPER_APPS, jobs: Optional[int] = None
+) -> List[dict]:
     """Per-app: workspan stats, O3xN speedups, HCC speedups vs bt-mesi."""
+    kinds = ("o3x1", "o3x4", "o3x8", "bt-mesi") + tuple(HCC_KINDS) + tuple(DTS_KINDS)
+    points = [GridPoint(app, "serial-io", scale, serial=True) for app in apps]
+    points += [GridPoint(app, kind, scale) for app in apps for kind in kinds]
+    run_grid(points, jobs=jobs)  # seeds the memo cache the loops below hit
     rows = []
     for app_name in apps:
         serial = run_serial_baseline(app_name, scale)
@@ -130,7 +137,14 @@ def format_table3(rows: List[dict]) -> str:
 # ----------------------------------------------------------------------
 # Table IV — invalidation / flush reduction, hit-rate increase with DTS
 # ----------------------------------------------------------------------
-def table4(scale: str, apps: Sequence[str] = PAPER_APPS) -> List[dict]:
+def table4(
+    scale: str, apps: Sequence[str] = PAPER_APPS, jobs: Optional[int] = None
+) -> List[dict]:
+    pair_kinds = [k for pair in _PROTO_PAIRS.values() for k in pair]
+    run_grid(
+        [GridPoint(app, kind, scale) for app in apps for kind in pair_kinds],
+        jobs=jobs,
+    )
     rows = []
     for app_name in apps:
         row = {"app": app_name}
@@ -174,7 +188,18 @@ def format_table4(rows: List[dict]) -> str:
 # ----------------------------------------------------------------------
 # Table V — larger-scale (256-core) system
 # ----------------------------------------------------------------------
-def table5(scale: str = "large", apps: Sequence[str] = TABLE5_APPS) -> List[dict]:
+def table5(
+    scale: str = "large",
+    apps: Sequence[str] = TABLE5_APPS,
+    jobs: Optional[int] = None,
+) -> List[dict]:
+    points = [GridPoint(app, "serial-io", scale, serial=True) for app in apps]
+    points += [
+        GridPoint(app, kind, scale)
+        for app in apps
+        for kind in ("bt-mesi", "bt-hcc-gwb", "bt-hcc-dts-gwb")
+    ]
+    run_grid(points, jobs=jobs)
     rows = []
     for app_name in apps:
         serial = run_serial_baseline(app_name, scale)

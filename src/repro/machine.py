@@ -139,6 +139,9 @@ class Machine:
     def tiny_core_ids(self) -> List[int]:
         return [c for c in range(self.config.n_cores) if not self.config.is_big_core(c)]
 
+    def big_core_ids(self) -> List[int]:
+        return [c for c in range(self.config.n_cores) if self.config.is_big_core(c)]
+
     def aggregate_l1_stats(self, core_ids=None) -> dict:
         """Sum L1 counters over a set of cores (default: all)."""
         if core_ids is None:

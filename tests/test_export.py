@@ -5,6 +5,7 @@ import io
 import json
 
 from repro.harness import (
+    result_from_dict,
     result_to_dict,
     results_to_json,
     rows_to_csv,
@@ -51,8 +52,29 @@ def test_series_to_csv():
     text = series_to_csv(data)
     lines = text.strip().splitlines()
     assert lines[0] == "app,bt-mesi,bt-hcc-gwb"
-    assert lines[1].startswith("app1,1.0,1.2")
+    assert lines[1] == "app1,1,1.2"
+
+
+def test_series_to_csv_rounds_like_rows_to_csv():
+    # Figure CSVs must apply the same %.6g formatting as table CSVs.
+    value = 1.2345678901234567
+    series_text = series_to_csv({"a": {"bt-mesi": value}})
+    rows_text = rows_to_csv([{"app": "a", "bt-mesi": value}])
+    assert series_text.splitlines()[1] == "a,1.23457"
+    assert rows_text.splitlines()[1] == "a,1.23457"
 
 
 def test_series_to_csv_empty():
     assert series_to_csv({}) == ""
+
+
+def test_result_from_dict_roundtrip_is_lossless():
+    result = run_experiment("cilk5-mt", "bt-hcc-dts-gwb", "tiny")
+    # Through plain dicts and through actual JSON text.
+    assert result_from_dict(result_to_dict(result)) == result
+    revived = result_from_dict(json.loads(json.dumps(result_to_dict(result))))
+    assert revived == result
+    assert revived.energy.total_pj == result.energy.total_pj
+    assert revived.energy.breakdown_pj == result.energy.breakdown_pj
+    assert revived.traffic_bytes == result.traffic_bytes
+    assert revived.l1_hit_rate_tiny == result.l1_hit_rate_tiny
