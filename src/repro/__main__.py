@@ -14,8 +14,22 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.apps import PAPER_APPS, app_names
-from repro.config.system import CONFIG_KINDS, SCALES
+from repro.apps import PAPER_APPS, app_names, resolve_app
+from repro.config.system import CONFIG_KINDS, SCALES, resolve_kind
+
+
+def _app_arg(text: str) -> str:
+    try:
+        return resolve_app(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
+def _kind_arg(text: str) -> str:
+    try:
+        return resolve_kind(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
 
 
 def _apply_harness_flags(args) -> None:
@@ -32,11 +46,11 @@ def _apply_harness_flags(args) -> None:
 
 def _report_store() -> None:
     """One line of store telemetry on stderr (hits/misses this run)."""
-    from repro.harness import get_result_store
+    from repro.harness import get_result_store, termlog
 
     store = get_result_store()
     if store is not None:
-        print(store.stats_line(), file=sys.stderr)
+        termlog.log(store.stats_line())
 
 
 def _cmd_list(_args) -> int:
@@ -53,7 +67,30 @@ def _cmd_list(_args) -> int:
 def _cmd_run(args) -> int:
     from repro.harness import run_experiment, run_serial_baseline
 
-    result = run_experiment(args.app, args.config, args.scale, serial=args.serial)
+    tracer = None
+    sample_interval = None
+    if args.trace:
+        from repro.trace import Tracer
+
+        tracer = Tracer()
+        sample_interval = args.trace_interval
+    result = run_experiment(
+        args.app, args.config, args.scale, serial=args.serial,
+        tracer=tracer, sample_interval=sample_interval,
+    )
+    if tracer is not None:
+        from repro.trace import export_chrome_trace
+
+        export_chrome_trace(tracer, args.trace)
+        print(f"trace written  : {args.trace} ({tracer.n_events()} events)",
+              file=sys.stderr)
+    if args.json:
+        import json
+
+        from repro.harness.export import result_to_dict
+
+        print(json.dumps(result_to_dict(result), indent=2, sort_keys=True))
+        return 0
     print(f"app            : {result.app}")
     print(f"config         : {result.kind} @ {result.scale}")
     print(f"cycles         : {result.cycles}")
@@ -67,6 +104,33 @@ def _cmd_run(args) -> int:
     if args.baseline:
         serial = run_serial_baseline(args.app, args.scale)
         print(f"speedup vs serial-IO: {serial.cycles / result.cycles:.2f}x")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.harness import run_experiment
+    from repro.trace import (
+        Tracer,
+        export_chrome_trace,
+        format_activity_report,
+        samples_to_csv,
+    )
+
+    tracer = Tracer()
+    result = run_experiment(
+        args.app, args.config, args.scale, serial=args.serial,
+        tracer=tracer, sample_interval=args.interval,
+    )
+    export_chrome_trace(tracer, args.out)
+    if args.csv:
+        with open(args.csv, "w", newline="\n") as fh:
+            fh.write(samples_to_csv(tracer.samples))
+    print(format_activity_report(tracer))
+    print(f"cycles : {result.cycles}")
+    print(f"trace  : {args.out} ({tracer.n_events()} events; "
+          f"load in https://ui.perfetto.dev or chrome://tracing)")
+    if args.csv:
+        print(f"csv    : {args.csv} ({len(tracer.samples)} samples)")
     return 0
 
 
@@ -158,12 +222,44 @@ def main(argv=None) -> int:
 
     run_parser = sub.add_parser(
         "run", help="run one app on one configuration", parents=[harness_flags])
-    run_parser.add_argument("app", choices=sorted(PAPER_APPS))
-    run_parser.add_argument("--config", default="bt-hcc-dts-gwb", choices=CONFIG_KINDS)
+    run_parser.add_argument("app", type=_app_arg, metavar="APP",
+                            help=f"one of {', '.join(sorted(PAPER_APPS))} (or an alias "
+                                 "like 'cilksort')")
+    run_parser.add_argument("--config", "--kind", dest="config", type=_kind_arg,
+                            default="bt-hcc-dts-gwb", metavar="KIND")
     run_parser.add_argument("--scale", default="quick", choices=sorted(SCALES))
     run_parser.add_argument("--serial", action="store_true", help="serial elision")
     run_parser.add_argument("--baseline", action="store_true",
                             help="also run the serial-IO baseline and report speedup")
+    run_parser.add_argument("--json", action="store_true",
+                            help="emit the full ExperimentResult as JSON on stdout")
+    run_parser.add_argument("--trace", default=None, metavar="FILE",
+                            help="record a cycle-accurate trace to FILE "
+                                 "(Chrome trace-event JSON; bypasses the result "
+                                 "store and memo cache)")
+    run_parser.add_argument("--trace-interval", type=positive_int, default=10_000,
+                            metavar="N", help="stat sampling interval in cycles "
+                                              "for --trace (default: 10000)")
+
+    trace_parser = sub.add_parser(
+        "trace",
+        help="run one experiment with full tracing and export it for Perfetto",
+        parents=[harness_flags])
+    trace_parser.add_argument("app", type=_app_arg, metavar="APP",
+                              help="application (registry name or alias)")
+    trace_parser.add_argument("--config", "--kind", dest="config", type=_kind_arg,
+                              default="bt-hcc-dts-gwb", metavar="KIND")
+    trace_parser.add_argument("--scale", default="tiny", choices=sorted(SCALES))
+    trace_parser.add_argument("--serial", action="store_true", help="serial elision")
+    trace_parser.add_argument("--out", default="trace.json", metavar="FILE",
+                              help="Chrome trace-event JSON output (default: "
+                                   "trace.json)")
+    trace_parser.add_argument("--csv", default=None, metavar="FILE",
+                              help="also write the interval stat samples as CSV")
+    trace_parser.add_argument("--interval", type=positive_int, default=10_000,
+                              metavar="N",
+                              help="stat sampling interval in cycles (default: "
+                                   "10000)")
 
     table_parser = sub.add_parser(
         "table", help="regenerate a paper table", parents=[harness_flags])
@@ -185,6 +281,7 @@ def main(argv=None) -> int:
     handler = {
         "list": _cmd_list,
         "run": _cmd_run,
+        "trace": _cmd_trace,
         "table": _cmd_table,
         "fig": _cmd_fig,
         "workspan": _cmd_workspan,

@@ -21,4 +21,46 @@ PAPER_APPS = (
     "ligra-tc",
 )
 
-__all__ = ["AppInstance", "SimArray", "make_app", "app_names", "PAPER_APPS"]
+#: Friendly names for the registry keys (the paper and the Cilk-5 / Ligra
+#: suites call the kernels by these longer names).
+APP_ALIASES = {
+    "cilksort": "cilk5-cs",
+    "lu": "cilk5-lu",
+    "matmul": "cilk5-mm",
+    "nqueens": "cilk5-nq",
+    "bfs": "ligra-bfs",
+    "bc": "ligra-bc",
+    "bellman-ford": "ligra-bf",
+    "mis": "ligra-mis",
+    "radii": "ligra-radii",
+    "tc": "ligra-tc",
+}
+
+
+def resolve_app(name: str) -> str:
+    """Resolve a friendly application name to its registry key.
+
+    Accepts the registry key itself (``cilk5-cs``), a known alias
+    (``cilksort``), or a bare suffix of a registered name (``cs`` →
+    ``cilk5-cs``, ``cc`` → ``ligra-cc``) when unambiguous.
+    """
+    if name in app_names():
+        return name
+    if name in APP_ALIASES:
+        return APP_ALIASES[name]
+    suffix_hits = [a for a in app_names() if a.split("-", 1)[-1] == name]
+    if len(suffix_hits) == 1:
+        return suffix_hits[0]
+    known = ", ".join(sorted(set(app_names()) | set(APP_ALIASES)))
+    raise ValueError(f"unknown application {name!r}; known: {known}")
+
+
+__all__ = [
+    "AppInstance",
+    "SimArray",
+    "make_app",
+    "app_names",
+    "resolve_app",
+    "APP_ALIASES",
+    "PAPER_APPS",
+]

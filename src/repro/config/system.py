@@ -117,6 +117,17 @@ HCC_KINDS = CONFIG_KINDS[5:8]
 DTS_KINDS = CONFIG_KINDS[8:]
 
 
+def resolve_kind(kind: str) -> str:
+    """Resolve a configuration name, accepting the ``bt-``-less shorthand
+    (``hcc-dts-dnv`` → ``bt-hcc-dts-dnv``)."""
+    if kind in CONFIG_KINDS:
+        return kind
+    prefixed = f"bt-{kind}"
+    if prefixed in CONFIG_KINDS:
+        return prefixed
+    raise ValueError(f"unknown config {kind!r}; known: {', '.join(CONFIG_KINDS)}")
+
+
 def make_config(kind: str, scale: str = "quick", **overrides) -> SystemConfig:
     """Build a named configuration at a named scale.
 

@@ -31,6 +31,7 @@ from repro.core.taskqueue import TaskDeque
 from repro.engine.simulator import SimulationError
 from repro.machine import Machine
 from repro.mem.address import WORD_BYTES
+from repro.trace.tracer import NULL_TRACER
 
 #: Modeled fixed costs (in "instructions" of Work) of runtime bookkeeping.
 SPAWN_OVERHEAD = 6
@@ -112,6 +113,10 @@ class WorkStealingRuntime:
         self._next_task_id = 1
         self.done = False
         self.stats = machine.stats.child("runtime")
+        #: Event tracer (repro.trace); the machine's, NULL_TRACER when off.
+        #: ``_tracing`` is hoisted so hot loops pay one attribute test.
+        self.tracer = getattr(machine, "tracer", NULL_TRACER)
+        self._tracing = self.tracer.enabled
         if self.variant == "dts":
             self._install_uli_handlers()
 
@@ -211,10 +216,18 @@ class WorkStealingRuntime:
     # ------------------------------------------------------------------
     def _run_task(self, ctx, task: Task):
         self.stats.add("tasks_executed")
+        if self._tracing:
+            now = self.machine.sim.now
+            self.tracer.core_state(ctx.tid, now, "running-task")
+            self.tracer.task_begin(
+                ctx.tid, now, task.task_id, type(task).__name__
+            )
         for i in range(task.ARG_WORDS):
             yield from ctx.load(task.arg_addr(i))
         yield from ctx.work(TASK_START_OVERHEAD)
         yield from task.execute(self, ctx)
+        if self._tracing:
+            self.tracer.task_end(ctx.tid, self.machine.sim.now)
 
     def _decrement_parent_amo(self, ctx, task: Task):
         if task.parent is not None:
@@ -236,6 +249,8 @@ class WorkStealingRuntime:
         failures = getattr(ctx, "_steal_failures", 0)
         ctx._steal_failures = failures + 1
         window = min(STEAL_BACKOFF << min(failures, 6), STEAL_BACKOFF_CAP)
+        if self._tracing:
+            self.tracer.core_state(ctx.tid, self.machine.sim.now, "idle")
         yield from ctx.idle(window + ctx.rng.randint(0, window))
 
     @staticmethod
@@ -266,6 +281,9 @@ class WorkStealingRuntime:
             yield from ctx.idle(STEAL_BACKOFF)
             return False
         self.stats.add("steal_attempts")
+        steal_start = self.machine.sim.now
+        if self._tracing:
+            self.tracer.core_state(ctx.tid, steal_start, "steal-attempt")
         vid = self._choose_victim(ctx)
         vdq = self.deques[vid]
         if self.deque_kind == "chase-lev":
@@ -280,12 +298,19 @@ class WorkStealingRuntime:
         self._steal_succeeded(ctx)
         task = self.tasks[task_id]
         self.stats.add("steals")
+        if self._tracing:
+            self.tracer.steal(
+                ctx.tid, vid, task_id, steal_start,
+                self.machine.sim.now, self.variant,
+            )
         yield from self._run_task(ctx, task)
         yield from self._decrement_parent_amo(ctx, task)
         return True
 
     def _wait_hw(self, ctx, parent: Task):
         while True:
+            if self._tracing:
+                self.tracer.core_state(ctx.tid, self.machine.sim.now, "waiting")
             rc = yield from ctx.load(parent.rc_addr)
             if rc <= 0:
                 return
@@ -321,6 +346,9 @@ class WorkStealingRuntime:
             yield from ctx.idle(STEAL_BACKOFF)
             return False
         self.stats.add("steal_attempts")
+        steal_start = self.machine.sim.now
+        if self._tracing:
+            self.tracer.core_state(ctx.tid, steal_start, "steal-attempt")
         vid = self._choose_victim(ctx)
         vdq = self.deques[vid]
         if self.deque_kind == "chase-lev":
@@ -337,6 +365,11 @@ class WorkStealingRuntime:
         self._steal_succeeded(ctx)
         task = self.tasks[task_id]
         self.stats.add("steals")
+        if self._tracing:
+            self.tracer.steal(
+                ctx.tid, vid, task_id, steal_start,
+                self.machine.sim.now, self.variant,
+            )
         # The stolen task's parent ran on another thread: invalidate to see
         # its writes, flush afterwards so the parent can see ours.
         yield from ctx.cache_invalidate()
@@ -347,6 +380,8 @@ class WorkStealingRuntime:
 
     def _wait_hcc(self, ctx, parent: Task):
         while True:
+            if self._tracing:
+                self.tracer.core_state(ctx.tid, self.machine.sim.now, "waiting")
             rc = yield from ctx.amo_or(parent.rc_addr, 0)
             if rc <= 0:
                 break
@@ -392,6 +427,9 @@ class WorkStealingRuntime:
             yield from ctx.idle(STEAL_BACKOFF)
             return False
         self.stats.add("steal_attempts")
+        steal_start = self.machine.sim.now
+        if self._tracing:
+            self.tracer.core_state(ctx.tid, steal_start, "steal-attempt")
         vid = self._choose_victim(ctx)
         ack = yield from ctx.uli_send_req(vid)
         if not ack:
@@ -405,6 +443,11 @@ class WorkStealingRuntime:
         self._steal_succeeded(ctx)
         task = self.tasks[task_id]
         self.stats.add("steals")
+        if self._tracing:
+            self.tracer.steal(
+                ctx.tid, vid, task_id, steal_start,
+                self.machine.sim.now, self.variant,
+            )
         yield from ctx.cache_invalidate()
         yield from self._run_task(ctx, task)
         yield from ctx.cache_flush()
@@ -412,8 +455,12 @@ class WorkStealingRuntime:
         return True
 
     def _wait_dts(self, ctx, parent: Task):
+        if self._tracing:
+            self.tracer.core_state(ctx.tid, self.machine.sim.now, "waiting")
         rc = yield from ctx.load(parent.rc_addr)
         while rc > 0:
+            if self._tracing:
+                self.tracer.core_state(ctx.tid, self.machine.sim.now, "waiting")
             executed = yield from self._poll_local_dts(ctx)
             if not executed:
                 yield from self._steal_dts(ctx)
@@ -483,6 +530,8 @@ class WorkStealingRuntime:
         if self.variant == "dts":
             yield from ctx.uli_enable()
         while not self.done:
+            if self._tracing:
+                self.tracer.core_state(ctx.tid, self.machine.sim.now, "waiting")
             executed = yield from poll(ctx)
             if not executed and not self.done:
                 yield from steal(ctx)
@@ -494,6 +543,8 @@ class WorkStealingRuntime:
         machine = self.machine
         for tid in range(self.n_threads):
             ctx = self.contexts[tid]
+            if self._tracing:
+                self.tracer.core_state(tid, machine.sim.now, "idle")
             if tid == main_tid:
                 machine.cores[tid].start(self._main_thread(ctx, root))
             else:
@@ -502,6 +553,8 @@ class WorkStealingRuntime:
         machine.sim.run()
         if not self.done:
             raise SimulationError("simulation drained without completing the program")
+        if self._tracing:
+            self.tracer.finish(machine.sim.now)
         return machine.sim.now - start
 
     # ------------------------------------------------------------------

@@ -24,6 +24,7 @@ from typing import Any, Callable, Generator, List, Optional
 from repro.cores import ops
 from repro.engine.simulator import SimulationError, Simulator
 from repro.engine.stats import StatGroup
+from repro.trace.tracer import NULL_TRACER
 
 #: Sentinel pushed on the resume stack when a handler interrupts a core
 #: that is blocked waiting for its own ULI response (no value to deliver).
@@ -56,10 +57,12 @@ class Core:
         mlp_factor: float = 1.0,
         uli_network=None,
         uli_entry_latency: int = 5,
+        tracer=NULL_TRACER,
     ):
         self.core_id = core_id
         self.sim = sim
         self.l1 = l1
+        self.tracer = tracer
         self.is_big = is_big
         self.issue_width = max(1, issue_width)
         self.mlp_factor = mlp_factor
@@ -238,9 +241,16 @@ class Core:
             and not self._in_handler
         )
 
+    def trace_state(self, state: str) -> None:
+        """Record a core-activity state transition (no-op when untraced)."""
+        if self.tracer.enabled:
+            self.tracer.core_state(self.core_id, self.sim.now, state)
+
     def _enter_handler(self) -> None:
         self._in_handler = True
         self._handler_entry_time = self.sim.now
+        if self.tracer.enabled:
+            self.tracer.push_state(self.core_id, self.sim.now, "uli-handler")
         thief = self._pending_uli
         self.stats.add("uli_handled")
         self.stats.add("cycles_uli", self.uli_entry_latency)
@@ -253,6 +263,8 @@ class Core:
         thief = self._pending_uli
         self._pending_uli = None
         self._in_handler = False
+        if self.tracer.enabled:
+            self.tracer.pop_state(self.core_id, self.sim.now)
         self._respond(thief, ack=True)
         saved = self._resume_stack.pop()
         if saved is _NO_RESULT:

@@ -5,6 +5,14 @@ events.  Components schedule callbacks at absolute or relative cycle times;
 the sequence number makes event ordering fully deterministic for events
 scheduled at the same cycle (FIFO among ties).
 
+*Daemon* events (``schedule(..., daemon=True)``) are pure observers such as
+the interval stats sampler (``repro.trace.sampler``): they live in their
+own small heap, run just before the first regular event at or after their
+due time, and never keep the simulation alive or advance the clock past
+the last real event — so they cannot perturb a simulation's outcome.  The
+main event loop only pays one truthiness test per event for their
+existence, keeping untraced runs at full speed.
+
 This kernel is deliberately minimal: the memory system resolves most
 latencies analytically (see ``repro.mem``), so the event queue only carries
 core wake-ups, ULI deliveries, and watchdog checks.  That keeps the event
@@ -27,6 +35,7 @@ class Simulator:
 
     def __init__(self, max_cycles: int = 500_000_000):
         self._queue: List[Tuple[int, int, Callable[[], None]]] = []
+        self._daemon_queue: List[Tuple[int, int, Callable[[], None]]] = []
         self._seq = 0
         self.now = 0
         self.max_cycles = max_cycles
@@ -36,17 +45,28 @@ class Simulator:
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
-    def schedule(self, delay: int, callback: Callable[[], None]) -> None:
-        """Schedule ``callback`` to run ``delay`` cycles from now (>= 0)."""
+    def schedule(
+        self, delay: int, callback: Callable[[], None], daemon: bool = False
+    ) -> None:
+        """Schedule ``callback`` to run ``delay`` cycles from now (>= 0).
+
+        ``daemon`` events (observers such as the interval stats sampler)
+        never keep the simulation alive: the run loop stops once only
+        daemon events remain, without executing them or advancing the
+        clock.  They therefore cannot perturb a simulation's outcome.
+        """
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        self.schedule_at(self.now + int(delay), callback)
+        self.schedule_at(self.now + int(delay), callback, daemon)
 
-    def schedule_at(self, time: int, callback: Callable[[], None]) -> None:
+    def schedule_at(
+        self, time: int, callback: Callable[[], None], daemon: bool = False
+    ) -> None:
         """Schedule ``callback`` at absolute cycle ``time`` (>= now)."""
         if time < self.now:
             raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
-        heapq.heappush(self._queue, (time, self._seq, callback))
+        queue = self._daemon_queue if daemon else self._queue
+        heapq.heappush(queue, (time, self._seq, callback))
         self._seq += 1
 
     # ------------------------------------------------------------------
@@ -55,20 +75,27 @@ class Simulator:
     def run(self, until: Optional[Callable[[], bool]] = None) -> int:
         """Drain the event queue.
 
-        Runs until the queue empties, ``until()`` returns True (checked after
-        each event), ``stop()`` is called, or ``max_cycles`` is exceeded.
-        Returns the final cycle count.
+        Runs until no regular (non-daemon) events remain, ``until()``
+        returns True (checked after each event), ``stop()`` is called, or
+        ``max_cycles`` is exceeded.  Returns the final cycle count.
         """
         self._running = True
         self._stop_requested = False
+        queue = self._queue
+        daemon_queue = self._daemon_queue
+        heappop = heapq.heappop
         try:
-            while self._queue:
-                time, _seq, callback = heapq.heappop(self._queue)
+            while queue:
+                time, _seq, callback = heappop(queue)
                 if time > self.max_cycles:
                     raise SimulationError(
                         f"simulation exceeded max_cycles={self.max_cycles}; "
                         "likely deadlock or runaway spin loop"
                     )
+                while daemon_queue and daemon_queue[0][0] <= time:
+                    dtime, _dseq, dcallback = heappop(daemon_queue)
+                    self.now = dtime
+                    dcallback()
                 self.now = time
                 callback()
                 if self._stop_requested or (until is not None and until()):
@@ -83,4 +110,5 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
+        """Pending non-daemon events (the ones that drive the run loop)."""
         return len(self._queue)

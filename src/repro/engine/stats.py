@@ -53,14 +53,38 @@ class StatGroup:
     # Export
     # ------------------------------------------------------------------
     def flatten(self, prefix: str = "") -> Dict[str, Number]:
-        """Flatten to {dotted.path.counter: value}."""
+        """Flatten to {dotted.path.counter: value}.
+
+        Key order is fully deterministic — counters and children are both
+        visited in sorted-name order — so the output never depends on the
+        order in which components touched their statistics.
+        """
         out: Dict[str, Number] = {}
         base = f"{prefix}{self.name}." if self.name else prefix
         for key, value in sorted(self._counters.items()):
             out[f"{base}{key}"] = value
-        for child in self._children.values():
-            out.update(child.flatten(base))
+        for name in sorted(self._children):
+            out.update(self._children[name].flatten(base))
         return out
+
+    def snapshot(self) -> Dict[str, Number]:
+        """A point-in-time flat copy of the whole subtree.
+
+        This is what the interval sampler (``repro.trace.sampler``) diffs
+        every N cycles to build statistics time series.
+        """
+        return self.flatten()
+
+    def reset(self) -> None:
+        """Zero every counter in this group and all descendants.
+
+        Counter *keys* survive (as zeros), so snapshots taken before and
+        after a reset stay comparable key-for-key.
+        """
+        for key in self._counters:
+            self._counters[key] = 0
+        for child in self._children.values():
+            child.reset()
 
     def items(self) -> Iterator[Tuple[str, Number]]:
         return iter(sorted(self._counters.items()))

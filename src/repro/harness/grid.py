@@ -25,13 +25,13 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-import sys
 import time
 from collections import deque
 from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional, Sequence
 
 import repro.harness.runner as runner
+from repro.harness import termlog
 from repro.harness.runner import ExperimentResult
 
 
@@ -121,14 +121,8 @@ def default_jobs() -> int:
         return 1
 
 
-def _progress_enabled(progress: Optional[bool]) -> bool:
-    if progress is not None:
-        return progress
-    return os.environ.get("REPRO_PROGRESS", "") not in ("", "0")
-
-
 class _Progress:
-    """A single overwriting [done/total + ETA] line on stderr."""
+    """A single overwriting [done/total + ETA] line, via ``termlog``."""
 
     def __init__(self, total: int, enabled: bool):
         self.total = total
@@ -142,18 +136,16 @@ class _Progress:
             return
         elapsed = time.monotonic() - self.start
         eta = elapsed / self.done * (self.total - self.done)
-        sys.stderr.write(
-            f"\r[{self.done}/{self.total}] {label:<48.48s} "
+        termlog.status(
+            f"[{self.done}/{self.total}] {label:<48.48s} "
             f"elapsed {elapsed:6.1f}s  ETA {eta:6.1f}s"
         )
         if self.done == self.total:
-            sys.stderr.write("\n")
-        sys.stderr.flush()
+            termlog.end_status()
 
     def note(self, message: str) -> None:
         if self.enabled:
-            sys.stderr.write(f"\n{message}\n")
-            sys.stderr.flush()
+            termlog.log(message)
 
 
 # ----------------------------------------------------------------------
@@ -220,7 +212,7 @@ def run_grid(
     points = list(points)
     if jobs is None:
         jobs = default_jobs()
-    meter = _Progress(len(points), _progress_enabled(progress))
+    meter = _Progress(len(points), termlog.progress_enabled(progress))
     if not points:
         return []
     if jobs <= 1 or len(points) == 1:

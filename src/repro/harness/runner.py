@@ -202,8 +202,21 @@ def run_experiment(
     app_overrides: Optional[dict] = None,
     runtime_kwargs: Optional[dict] = None,
     config_overrides: Optional[dict] = None,
+    tracer=None,
+    sample_interval: Optional[int] = None,
 ) -> ExperimentResult:
-    """Simulate ``app_name`` on configuration ``kind`` at ``scale``."""
+    """Simulate ``app_name`` on configuration ``kind`` at ``scale``.
+
+    Passing a :class:`repro.trace.Tracer` (and optionally a
+    ``sample_interval`` in cycles for the interval statistics sampler)
+    records a cycle-accurate event trace of the run.  Traced runs always
+    simulate — the memo cache and the on-disk result store are bypassed,
+    since a cached result carries no events — but the *result* is
+    identical either way: tracing never perturbs simulated timing.
+    """
+    traced = tracer is not None or sample_interval is not None
+    if traced:
+        use_cache = False
     key = memo_key(
         app_name, kind, scale, serial, app_overrides, runtime_kwargs, config_overrides
     )
@@ -229,7 +242,7 @@ def run_experiment(
     _SIM_COUNT += 1
     params = app_params(app_name, scale, **(app_overrides or {}))
     app = make_app(app_name, **params)
-    machine = Machine(make_config(kind, scale, **(config_overrides or {})))
+    machine = Machine(make_config(kind, scale, **(config_overrides or {})), tracer=tracer)
     app.setup(machine)
     rt_kwargs = dict(runtime_kwargs or {})
     if serial:
@@ -237,7 +250,33 @@ def run_experiment(
         # program (same grain, no runtime bookkeeping).
         rt_kwargs["serial_elision"] = True
     runtime = WorkStealingRuntime(machine, **rt_kwargs)
+    sampler = None
+    if sample_interval is not None:
+        from repro.trace.sampler import IntervalSampler
+        from repro.trace.tracer import NULL_TRACER
+
+        def sampled_stats():
+            snap = machine.stats.snapshot()
+            for category, n_bytes in machine.traffic.snapshot().items():
+                snap[f"traffic.{category}"] = n_bytes
+            return snap
+
+        sampler = IntervalSampler(
+            machine.sim, sampled_stats, sample_interval,
+            tracer=tracer if tracer is not None else NULL_TRACER,
+        )
+        sampler.start()
     cycles = runtime.run(app.make_root(serial=False))
+    if sampler is not None:
+        sampler.finalize()
+    if tracer is not None:
+        tracer.core_labels.update(machine.core_labels())
+        tracer.set_meta(
+            app=app_name, kind=kind, scale=scale, serial=bool(serial),
+            seed=machine.config.seed, n_cores=machine.config.n_cores,
+            cycles=cycles, sample_interval=sample_interval,
+        )
+        tracer.finish(machine.sim.now)
     if check:
         app.check()
 

@@ -29,23 +29,28 @@ from repro.mem.l2 import SharedL2
 from repro.mem.traffic import TrafficMeter
 from repro.noc.mesh import Mesh, MeshConfig
 from repro.noc.uli import UliNetwork
+from repro.trace.tracer import NULL_TRACER
 
 
 class Machine:
     """A fully wired simulated big.TINY (or pure-big) system."""
 
-    def __init__(self, config: SystemConfig):
+    def __init__(self, config: SystemConfig, tracer=None):
         config.validate()
         self.config = config
         self.sim = Simulator(max_cycles=config.max_cycles)
         self.stats = StatGroup("machine")
         self.rng = XorShift64(config.seed)
+        #: Event tracer (repro.trace): NULL_TRACER unless a run is traced.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
         self.memory = MainMemory()
         self.address_space = AddressSpace()
         self.traffic = TrafficMeter()
         self.mesh = Mesh(MeshConfig(rows=config.mesh_rows, cols=config.mesh_cols))
-        self.uli_network = UliNetwork(self.mesh, self.stats)
+        self.uli_network = UliNetwork(
+            self.mesh, self.stats, sim=self.sim, tracer=self.tracer
+        )
 
         per_mc_bandwidth = config.dram_total_bytes_per_cycle / config.n_l2_banks
         dram = [
@@ -57,6 +62,8 @@ class Machine:
             )
             for b in range(config.n_l2_banks)
         ]
+        for controller in dram:
+            controller.tracer = self.tracer
         self.l2 = SharedL2(
             mesh=self.mesh,
             memory=self.memory,
@@ -76,6 +83,7 @@ class Machine:
             l1 = PROTOCOLS[protocol](
                 core_id, self.l2, self.stats, params.size_bytes, params.assoc
             )
+            l1.tracer = self.tracer
             is_big = config.is_big_core(core_id)
             core = Core(
                 core_id=core_id,
@@ -89,6 +97,7 @@ class Machine:
                 uli_entry_latency=(
                     config.uli_entry_latency_big if is_big else config.uli_entry_latency_tiny
                 ),
+                tracer=self.tracer,
             )
             self.l1s.append(l1)
             self.cores.append(core)
@@ -141,6 +150,13 @@ class Machine:
 
     def big_core_ids(self) -> List[int]:
         return [c for c in range(self.config.n_cores) if self.config.is_big_core(c)]
+
+    def core_labels(self) -> dict:
+        """Display labels for trace tracks: {core_id: "core N (big|tiny)"}."""
+        return {
+            c: f"core {c} ({'big' if self.config.is_big_core(c) else 'tiny'})"
+            for c in range(self.config.n_cores)
+        }
 
     def aggregate_l1_stats(self, core_ids=None) -> dict:
         """Sum L1 counters over a set of cores (default: all)."""

@@ -13,10 +13,14 @@ from __future__ import annotations
 import math
 
 from repro.engine.stats import StatGroup
+from repro.trace.tracer import NULL_TRACER
 
 
 class DramController:
     """A single bandwidth-limited memory channel."""
+
+    #: Event tracer; replaced per-machine when tracing is enabled.
+    tracer = NULL_TRACER
 
     def __init__(
         self,
@@ -42,4 +46,6 @@ class DramController:
         self.stats.add("bytes", n_bytes)
         self.stats.add("queue_cycles", queue_delay)
         self.stats.add("busy_cycles", service)
+        if self.tracer.enabled:
+            self.tracer.dram_sample(self.controller_id, now, queue_delay)
         return completion - now

@@ -19,10 +19,14 @@ from typing import List, Optional, Tuple
 from repro.engine.stats import StatGroup
 from repro.mem.address import line_addr, word_index
 from repro.mem.cacheline import CacheLine, TagArray
+from repro.trace.tracer import NULL_TRACER
 
 
 class L1Cache:
     """Abstract private L1 data cache."""
+
+    #: Event tracer (repro.trace); replaced per-machine when tracing is on.
+    tracer = NULL_TRACER
 
     #: Table I taxonomy, overridden per protocol.
     PROTOCOL = "base"
@@ -133,6 +137,11 @@ class L1Cache:
     # ------------------------------------------------------------------
     # Shared helpers
     # ------------------------------------------------------------------
+    def _trace_burst(self, kind: str, now: int, lines: int, latency: int) -> None:
+        """Record an invalidate/flush burst event (no-op when untraced)."""
+        if self.tracer.enabled:
+            self.tracer.mem_burst(self.core_id, now, kind, lines, latency)
+
     def _record_access(self, kind: str, hit: bool) -> None:
         self.stats.add(kind)
         if hit:

@@ -107,6 +107,7 @@ class DeNovoL1(L1Cache):
                 self.tags.remove(line.addr)
                 dropped += 1
         self.stats.add("lines_invalidated", dropped)
+        self._trace_burst("invalidate", now, dropped, self.FLASH_OP_LATENCY)
         return self.FLASH_OP_LATENCY
 
     # flush_all inherited: no-op (ownership propagates dirty data).

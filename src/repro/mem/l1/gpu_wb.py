@@ -115,6 +115,7 @@ class GpuWbL1(L1Cache):
                 line.valid_mask = line.dirty_mask
                 dropped += 1
         self.stats.add("lines_invalidated", dropped)
+        self._trace_burst("invalidate", now, dropped, self.FLASH_OP_LATENCY)
         return self.FLASH_OP_LATENCY
 
     def flush_all(self, now: int) -> int:
@@ -133,7 +134,12 @@ class GpuWbL1(L1Cache):
             line.dirty_mask = 0
             flushed += 1
         self.stats.add("lines_flushed", flushed)
-        return self.FLASH_OP_LATENCY + worst_injection + self.FLUSH_PER_LINE_CYCLES * flushed
+        latency = (
+            self.FLASH_OP_LATENCY + worst_injection
+            + self.FLUSH_PER_LINE_CYCLES * flushed
+        )
+        self._trace_burst("flush", now, flushed, latency)
+        return latency
 
     # ------------------------------------------------------------------
     # Eviction

@@ -88,6 +88,7 @@ class GpuWtL1(L1Cache):
         self.stats.add("invalidate_ops")
         dropped = len(self.tags.clear())
         self.stats.add("lines_invalidated", dropped)
+        self._trace_burst("invalidate", now, dropped, self.FLASH_OP_LATENCY)
         return self.FLASH_OP_LATENCY
 
     # flush_all inherited: no-op (every write is already through).

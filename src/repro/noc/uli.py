@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from repro.engine.stats import StatGroup
 from repro.noc.mesh import Mesh
+from repro.trace.tracer import NULL_TRACER
 
 #: Each ULI message is a single word: destination + payload.
 ULI_MESSAGE_BYTES = 8
@@ -23,9 +24,12 @@ ULI_MESSAGE_BYTES = 8
 class UliNetwork:
     """Dedicated request/response mesh for user-level interrupts."""
 
-    def __init__(self, mesh: Mesh, stats: StatGroup):
+    def __init__(self, mesh: Mesh, stats: StatGroup, sim=None, tracer=NULL_TRACER):
         self.mesh = mesh
         self.stats = stats.child("uli_network")
+        self.sim = sim
+        self.tracer = tracer
+        self._tracing = tracer.enabled and sim is not None
 
     def send_latency(self, src_core: int, dst_core: int) -> int:
         """Latency in cycles for one ULI message between two cores."""
@@ -37,6 +41,8 @@ class UliNetwork:
         self.stats.add("total_hops", hops)
         self.stats.add("total_latency", latency)
         self.stats.add("bytes", ULI_MESSAGE_BYTES)
+        if self._tracing:
+            self.tracer.uli_message(src_core, dst_core, self.sim.now, latency)
         return latency
 
     def utilization(self, elapsed_cycles: int) -> float:

@@ -1,0 +1,32 @@
+"""Cycle-accurate tracing and profiling of simulated runs.
+
+Collection (:mod:`repro.trace.tracer`), interval sampling
+(:mod:`repro.trace.sampler`), Chrome trace-event / Perfetto export
+(:mod:`repro.trace.perfetto`), and text reporting
+(:mod:`repro.trace.report`).  Enable by passing a :class:`Tracer` to
+``repro.harness.run_experiment`` or via ``python -m repro trace``.
+"""
+
+from repro.trace.perfetto import (
+    chrome_trace_events,
+    export_chrome_trace,
+    validate_chrome_trace,
+    validate_trace_file,
+)
+from repro.trace.report import format_activity_report
+from repro.trace.sampler import IntervalSampler, samples_to_csv
+from repro.trace.tracer import CORE_STATES, NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "CORE_STATES",
+    "NULL_TRACER",
+    "NullTracer",
+    "Tracer",
+    "IntervalSampler",
+    "samples_to_csv",
+    "chrome_trace_events",
+    "export_chrome_trace",
+    "validate_chrome_trace",
+    "validate_trace_file",
+    "format_activity_report",
+]

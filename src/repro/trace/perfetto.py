@@ -1,0 +1,222 @@
+"""Chrome trace-event (Perfetto-loadable) export of a recorded trace.
+
+Produces the JSON object format of the Trace Event spec understood by
+https://ui.perfetto.dev and ``chrome://tracing``:
+
+* pid 0 ``core activity`` — one thread track per core carrying the
+  running-task / steal-attempt / waiting / idle / uli-handler state spans
+  (``ph: "X"`` complete events) plus instant events for L1 invalidate and
+  flush bursts.
+* pid 1 ``tasks`` — one thread track per core carrying task-lifecycle
+  spans (nested ``ph: "X"`` events; the nesting mirrors fork/join depth).
+* flow events (``ph: "s"`` / ``ph: "f"``) drawing a thief→victim arrow for
+  every successful steal and every ULI message.
+* pid 2 ``counters`` — ``ph: "C"`` counter tracks derived from the
+  interval sampler (tiny L1 hit rate, NoC traffic, steals, instructions)
+  and from the DRAM controllers (queueing delay).
+
+Timestamps are simulated *cycles* written into the microsecond ``ts``
+field — Perfetto's time axis then reads directly in cycles.
+
+The export is deterministic: events derive only from simulated state, are
+emitted in a fixed order, and are serialized with sorted keys and fixed
+separators, so identical runs produce byte-identical files.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.trace.tracer import Tracer
+
+PID_CORES = 0
+PID_TASKS = 1
+PID_COUNTERS = 2
+
+#: Counter-track definitions derived from interval samples: name -> list of
+#: (key-substring, kind) selectors summed over the sampled stat deltas.
+_PHASES = ("B", "E", "X", "i", "I", "s", "t", "f", "C", "M", "b", "e", "n")
+
+
+def _sum_matching(delta: Dict[str, float], *substrings: str) -> float:
+    total = 0
+    for key, value in delta.items():
+        if any(s in key for s in substrings):
+            total += value
+    return total
+
+
+def _counter_events(tracer: Tracer) -> List[dict]:
+    """Per-interval counter tracks (Figure 6/8-style signals over time)."""
+    events: List[dict] = []
+
+    def counter(name: str, cycle: int, value) -> None:
+        events.append({
+            "ph": "C",
+            "pid": PID_COUNTERS,
+            "tid": 0,
+            "name": name,
+            "ts": cycle,
+            "args": {"value": round(value, 6) if isinstance(value, float) else value},
+        })
+
+    for cycle, delta in tracer.samples:
+        l1 = {key: value for key, value in delta.items() if ".l1d_" in key}
+        accesses = _sum_matching(l1, ".loads", ".stores")
+        hits = _sum_matching(l1, ".load_hits", ".store_hits")
+        if accesses:
+            counter("l1 hit rate", cycle, hits / accesses)
+        counter("traffic bytes", cycle, _sum_matching(delta, "traffic."))
+        counter("steals", cycle, _sum_matching(delta, "runtime.steals"))
+        counter("instructions", cycle, _sum_matching(delta, ".instructions"))
+        counter(
+            "lines inv+flush",
+            cycle,
+            _sum_matching(delta, ".lines_invalidated", ".lines_flushed"),
+        )
+    for controller_id, cycle, queue_cycles in tracer.dram_samples:
+        counter(f"dram{controller_id} queue cycles", cycle, queue_cycles)
+    return events
+
+
+def chrome_trace_events(tracer: Tracer) -> List[dict]:
+    """The full, deterministic trace-event list for ``tracer``."""
+    events: List[dict] = []
+    core_ids = sorted(
+        {cid for cid, _s, _e, _st in tracer.state_spans}
+        | {cid for cid, _s, _e, _t, _n in tracer.task_spans}
+        | set(tracer.core_labels)
+    )
+
+    # -- metadata: name the processes and per-core threads ---------------
+    for pid, pname in ((PID_CORES, "core activity"), (PID_TASKS, "tasks"),
+                       (PID_COUNTERS, "counters")):
+        events.append({
+            "ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+            "args": {"name": pname},
+        })
+        events.append({
+            "ph": "M", "pid": pid, "tid": 0, "name": "process_sort_index",
+            "args": {"sort_index": pid},
+        })
+    for cid in core_ids:
+        label = tracer.core_labels.get(cid, f"core {cid}")
+        for pid in (PID_CORES, PID_TASKS):
+            events.append({
+                "ph": "M", "pid": pid, "tid": cid, "name": "thread_name",
+                "args": {"name": label},
+            })
+            events.append({
+                "ph": "M", "pid": pid, "tid": cid, "name": "thread_sort_index",
+                "args": {"sort_index": cid},
+            })
+
+    # -- core activity state spans ---------------------------------------
+    for cid, start, end, state in tracer.state_spans:
+        events.append({
+            "ph": "X", "pid": PID_CORES, "tid": cid, "name": state,
+            "cat": "core_state", "ts": start, "dur": end - start,
+        })
+
+    # -- task lifecycle spans --------------------------------------------
+    for cid, start, end, task_id, name in tracer.task_spans:
+        events.append({
+            "ph": "X", "pid": PID_TASKS, "tid": cid, "name": name,
+            "cat": "task", "ts": start, "dur": end - start,
+            "args": {"task_id": task_id},
+        })
+
+    # -- steal flow edges (victim -> thief: the task moves) --------------
+    for n, (thief, victim, task_id, start, end, kind) in enumerate(tracer.steals):
+        common = {"cat": "steal", "name": f"steal:{kind}", "id": n, "pid": PID_CORES}
+        events.append({"ph": "s", "tid": victim, "ts": start,
+                       "args": {"task_id": task_id}, **common})
+        events.append({"ph": "f", "bp": "e", "tid": thief, "ts": end,
+                       "args": {"task_id": task_id}, **common})
+
+    # -- ULI message flows ------------------------------------------------
+    for n, (src, dst, cycle, latency) in enumerate(tracer.uli_messages):
+        common = {"cat": "uli", "name": "uli", "id": len(tracer.steals) + n,
+                  "pid": PID_CORES}
+        events.append({"ph": "s", "tid": src, "ts": cycle, **common})
+        events.append({"ph": "f", "bp": "e", "tid": dst, "ts": cycle + latency,
+                       **common})
+
+    # -- L1 invalidate/flush bursts as instants on the core track --------
+    for cid, cycle, kind, lines, latency in tracer.mem_bursts:
+        events.append({
+            "ph": "i", "s": "t", "pid": PID_CORES, "tid": cid,
+            "name": f"{kind} burst", "cat": "mem", "ts": cycle,
+            "args": {"lines": lines, "latency": latency},
+        })
+
+    events.extend(_counter_events(tracer))
+    return events
+
+
+def export_chrome_trace(tracer: Tracer, path: Optional[str] = None) -> str:
+    """Serialize ``tracer`` to Chrome trace-event JSON text (optionally
+    writing it to ``path``).  Deterministic byte-for-byte."""
+    obj = {
+        "displayTimeUnit": "ms",
+        "metadata": dict(sorted(tracer.meta.items())),
+        "otherData": {"clock": "simulated-cycles", "final_cycle": tracer.final_cycle},
+        "traceEvents": chrome_trace_events(tracer),
+    }
+    text = json.dumps(obj, sort_keys=True, separators=(",", ":")) + "\n"
+    if path is not None:
+        with open(path, "w", encoding="utf-8", newline="\n") as fh:
+            fh.write(text)
+    return text
+
+
+# ----------------------------------------------------------------------
+# Schema validation (used by tests and the CI trace-smoke job)
+# ----------------------------------------------------------------------
+def validate_chrome_trace(obj) -> List[dict]:
+    """Check ``obj`` against the trace-event JSON object format.
+
+    Returns the event list on success; raises ``ValueError`` describing the
+    first problem otherwise.  Intentionally strict about the fields the
+    Perfetto importer relies on.
+    """
+    if not isinstance(obj, dict) or "traceEvents" not in obj:
+        raise ValueError("trace must be a JSON object with a traceEvents array")
+    events = obj["traceEvents"]
+    if not isinstance(events, list) or not events:
+        raise ValueError("traceEvents must be a non-empty array")
+    open_flows = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event #{i} is not an object")
+        ph = event.get("ph")
+        if ph not in _PHASES:
+            raise ValueError(f"event #{i} has unknown phase {ph!r}")
+        for field in ("pid", "tid"):
+            if not isinstance(event.get(field), int):
+                raise ValueError(f"event #{i} ({ph}) lacks integer {field!r}")
+        if ph != "M":
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                raise ValueError(f"event #{i} ({ph}) has bad ts {ts!r}")
+        if not isinstance(event.get("name"), str):
+            raise ValueError(f"event #{i} ({ph}) lacks a name")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"event #{i} (X) has bad dur {dur!r}")
+        if ph == "C" and not isinstance(event.get("args"), dict):
+            raise ValueError(f"event #{i} (C) lacks args")
+        if ph == "s":
+            open_flows[event.get("id")] = i
+        if ph == "f" and event.get("id") not in open_flows:
+            raise ValueError(f"event #{i} (f) finishes unknown flow id")
+    return events
+
+
+def validate_trace_file(path: str) -> int:
+    """Validate a trace file on disk; returns the number of events."""
+    with open(path, "r", encoding="utf-8") as fh:
+        obj = json.load(fh)
+    return len(validate_chrome_trace(obj))

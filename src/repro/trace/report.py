@@ -1,0 +1,50 @@
+"""Per-core activity-breakdown text report from a recorded trace.
+
+Mirrors the paper's time-resolved analysis (Section VI): for every core,
+the fraction of elapsed cycles spent running tasks, attempting steals,
+waiting at joins, idling after failed steals, and servicing ULI handlers.
+This is the textual companion to the Perfetto view — the same state spans,
+aggregated.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.trace.tracer import CORE_STATES, Tracer
+
+#: Printing order: the known states first, then anything novel.
+_STATE_ORDER = {state: i for i, state in enumerate(CORE_STATES)}
+
+
+def format_activity_report(tracer: Tracer) -> str:
+    """Render the per-core activity breakdown as an aligned text table."""
+    totals = tracer.state_totals()
+    elapsed = max(1, tracer.final_cycle)
+    states: List[str] = sorted(
+        {state for per_core in totals.values() for state in per_core},
+        key=lambda s: (_STATE_ORDER.get(s, len(_STATE_ORDER)), s),
+    )
+    lines = [
+        f"per-core activity breakdown over {tracer.final_cycle} cycles "
+        f"(% of elapsed time)"
+    ]
+    header = f"{'core':<16}" + "".join(f"{state:>14}" for state in states)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for core_id in sorted(totals):
+        label = tracer.core_labels.get(core_id, f"core {core_id}")
+        row = f"{label:<16}"
+        for state in states:
+            cycles = totals[core_id].get(state, 0)
+            row += f"{100.0 * cycles / elapsed:>13.1f}%"
+        lines.append(row)
+    if tracer.steals:
+        lines.append("")
+        lines.append(
+            f"steals: {len(tracer.steals)}   "
+            f"uli messages: {len(tracer.uli_messages)}   "
+            f"inv/flush bursts: {len(tracer.mem_bursts)}   "
+            f"interval samples: {len(tracer.samples)}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Interval statistics sampler: StatGroup deltas every N cycles.
+
+The end-of-run aggregates in ``StatGroup`` explain *how much* happened but
+not *when*; the sampler turns them into a time series by snapshotting a
+flat statistics view every ``interval`` simulated cycles and recording the
+delta since the previous snapshot.  The resulting series feeds the Chrome
+trace counter tracks (hit rate, traffic, steals per interval) and the CSV
+export below.
+
+Scheduling: the sampler rides the simulation's own event queue as *daemon*
+events (``Simulator.schedule(..., daemon=True)``), which never keep the run
+loop alive or advance the clock past the last real event.  Sampler
+callbacks read statistics and touch nothing else, so a sampled run is
+cycle-for-cycle identical to an unsampled one — asserted by
+``tests/test_trace.py``.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.engine.simulator import Simulator
+from repro.engine.stats import StatGroup
+from repro.trace.tracer import NULL_TRACER, NullTracer
+
+Snapshot = Dict[str, Union[int, float]]
+
+
+class IntervalSampler:
+    """Snapshot a statistics source every ``interval`` cycles.
+
+    ``source`` is either a :class:`StatGroup` (sampled via ``snapshot()``)
+    or any zero-argument callable returning a flat ``{name: number}`` dict
+    (e.g. one that merges in ``TrafficMeter.snapshot()``).  Deltas are
+    forwarded to ``tracer.counter_sample`` and kept in :attr:`samples`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        source: Union[StatGroup, Callable[[], Snapshot]],
+        interval: int,
+        tracer: NullTracer = NULL_TRACER,
+    ):
+        if interval < 1:
+            raise ValueError(f"sample interval must be >= 1 cycle, got {interval}")
+        self.sim = sim
+        self.interval = interval
+        self.tracer = tracer
+        self._snapshot = source.snapshot if isinstance(source, StatGroup) else source
+        #: (cycle, {stat: delta}) — only stats that changed in the interval.
+        self.samples: List[Tuple[int, Snapshot]] = []
+        self._prev: Optional[Snapshot] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Take the baseline snapshot and schedule the first tick."""
+        self._prev = self._snapshot()
+        self.sim.schedule(self.interval, self._tick, daemon=True)
+
+    def finalize(self) -> None:
+        """Record a closing sample at the current cycle (if not yet taken).
+
+        Guarantees at least one sample even for runs shorter than one
+        interval, so counter tracks and CSVs are never empty.
+        """
+        if self._prev is None:
+            self._prev = self._snapshot()
+        if not self.samples or self.samples[-1][0] != self.sim.now:
+            self._record(self.sim.now)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        self._record(self.sim.now)
+        # Daemon events never keep the run alive, so re-arming is always
+        # safe: an unexecuted tick is simply left in the queue at the end.
+        self.sim.schedule(self.interval, self._tick, daemon=True)
+
+    def _record(self, cycle: int) -> None:
+        snap = self._snapshot()
+        prev = self._prev
+        delta = {
+            key: value - prev.get(key, 0)
+            for key, value in snap.items()
+            if value != prev.get(key, 0)
+        }
+        self._prev = snap
+        self.samples.append((cycle, delta))
+        self.tracer.counter_sample(cycle, delta)
+
+
+def samples_to_csv(samples: List[Tuple[int, Snapshot]]) -> str:
+    """Serialize interval samples to CSV: one row per tick, one column per
+    statistic that changed at least once (sorted, so output is stable)."""
+    columns: List[str] = sorted({key for _cycle, delta in samples for key in delta})
+    buffer = io.StringIO()
+    buffer.write(",".join(["cycle"] + columns) + "\n")
+    for cycle, delta in samples:
+        row = [str(cycle)]
+        for key in columns:
+            value = delta.get(key, 0)
+            row.append(f"{value:.6g}" if isinstance(value, float) else str(value))
+        buffer.write(",".join(row) + "\n")
+    return buffer.getvalue()

@@ -1,0 +1,252 @@
+"""Cycle-accurate event tracer for the simulated system.
+
+The tracer is the collection side of ``repro.trace``: instrumented
+components (cores, the work-stealing runtime, the ULI network, the L1
+caches, the DRAM controllers) call into it with *cycle-stamped* events and
+it accumulates them as plain tuples.  Exporters (``repro.trace.perfetto``,
+``repro.trace.sampler``) turn the accumulated events into Chrome
+trace-event JSON, CSV time series, and text reports.
+
+Two implementations share one interface:
+
+* :class:`NullTracer` — the default everywhere.  Every hook is a no-op and
+  ``enabled`` is False, so instrumented hot paths pay at most one attribute
+  load and a branch.  The module-level :data:`NULL_TRACER` singleton is the
+  instance components default to.
+* :class:`Tracer` — records everything.  Install one by passing it to
+  :class:`repro.machine.Machine` (or ``run_experiment(tracer=...)``).
+
+Determinism: events carry only simulated state (cycles, core ids, task
+ids), never wall-clock time or object identities, so two runs of the same
+configuration and seed accumulate identical event streams and the
+exporters emit byte-identical files.  This property is asserted by
+``tests/test_trace.py``.
+
+Core *states* form a per-core stack: :meth:`Tracer.core_state` replaces
+the state at the top of the stack (closing the previous span), while
+:meth:`Tracer.push_state` / :meth:`Tracer.pop_state` bracket nested
+activity such as ULI handlers that interrupt whatever the core was doing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+#: Core activity states emitted by the runtime and the cores (the paper's
+#: time-resolved story: which cores were busy, stealing, waiting, idle).
+CORE_STATES = (
+    "running-task",
+    "steal-attempt",
+    "waiting",
+    "idle",
+    "uli-handler",
+)
+
+
+class NullTracer:
+    """Do-nothing tracer; the near-zero-cost default for untraced runs.
+
+    Components keep a reference to a tracer and guard heavier
+    instrumentation with ``if tracer.enabled:``; with this class that is a
+    single attribute test, and un-guarded calls are empty methods.
+    """
+
+    enabled = False
+
+    # -- core activity -------------------------------------------------
+    def core_state(self, core_id: int, cycle: int, state: str) -> None:
+        pass
+
+    def push_state(self, core_id: int, cycle: int, state: str) -> None:
+        pass
+
+    def pop_state(self, core_id: int, cycle: int) -> None:
+        pass
+
+    # -- task lifecycle ------------------------------------------------
+    def task_begin(self, core_id: int, cycle: int, task_id: int, name: str) -> None:
+        pass
+
+    def task_end(self, core_id: int, cycle: int) -> None:
+        pass
+
+    # -- steal edges ---------------------------------------------------
+    def steal(
+        self,
+        thief: int,
+        victim: int,
+        task_id: int,
+        start_cycle: int,
+        end_cycle: int,
+        kind: str,
+    ) -> None:
+        pass
+
+    # -- ULI fabric ----------------------------------------------------
+    def uli_message(self, src: int, dst: int, cycle: int, latency: int) -> None:
+        pass
+
+    # -- memory system -------------------------------------------------
+    def mem_burst(
+        self, core_id: int, cycle: int, kind: str, lines: int, latency: int
+    ) -> None:
+        pass
+
+    def dram_sample(self, controller_id: int, cycle: int, queue_cycles: int) -> None:
+        pass
+
+    # -- interval sampling ---------------------------------------------
+    def counter_sample(self, cycle: int, deltas: Dict[str, float]) -> None:
+        pass
+
+    # -- lifecycle -----------------------------------------------------
+    def finish(self, cycle: int) -> None:
+        pass
+
+
+#: Shared default instance: components reference this when no tracer is
+#: installed, so untraced simulations never allocate tracer state.
+NULL_TRACER = NullTracer()
+
+
+class Tracer(NullTracer):
+    """Recording tracer: accumulates cycle-stamped events as plain tuples."""
+
+    enabled = True
+
+    def __init__(self):
+        #: (core_id, start, end, state) closed core-activity spans.
+        self.state_spans: List[Tuple[int, int, int, str]] = []
+        #: (core_id, start, end, task_id, name) closed task spans.
+        self.task_spans: List[Tuple[int, int, int, int, str]] = []
+        #: (thief, victim, task_id, start, end, kind) successful steals.
+        self.steals: List[Tuple[int, int, int, int, int, str]] = []
+        #: (src, dst, cycle, latency) ULI messages.
+        self.uli_messages: List[Tuple[int, int, int, int]] = []
+        #: (core_id, cycle, kind, lines, latency) invalidate/flush bursts.
+        self.mem_bursts: List[Tuple[int, int, str, int, int]] = []
+        #: (controller_id, cycle, queue_cycles) DRAM queueing samples.
+        self.dram_samples: List[Tuple[int, int, int]] = []
+        #: (cycle, {stat: delta}) interval-sampler output.
+        self.samples: List[Tuple[int, Dict[str, float]]] = []
+        #: Experiment metadata set by the harness (app, kind, scale, ...).
+        self.meta: Dict[str, object] = {}
+        #: core_id -> display label ("core 0 (big)"), set by the harness.
+        self.core_labels: Dict[int, str] = {}
+        self.final_cycle = 0
+        # core_id -> [(state, since), ...]: the open state-span stack.
+        self._state: Dict[int, List[Tuple[str, int]]] = {}
+        # core_id -> [(task_id, name, start), ...]: open (nested) tasks.
+        self._open_tasks: Dict[int, List[Tuple[int, str, int]]] = {}
+
+    # ------------------------------------------------------------------
+    # Core activity states
+    # ------------------------------------------------------------------
+    def core_state(self, core_id: int, cycle: int, state: str) -> None:
+        """Transition ``core_id`` to ``state`` at ``cycle`` (flat change)."""
+        stack = self._state.setdefault(core_id, [])
+        if not stack:
+            stack.append((state, cycle))
+            return
+        prev, since = stack[-1]
+        if prev == state:
+            return
+        if cycle > since:
+            self.state_spans.append((core_id, since, cycle, prev))
+        stack[-1] = (state, cycle)
+
+    def push_state(self, core_id: int, cycle: int, state: str) -> None:
+        """Interrupt the current state (e.g. a ULI handler entry)."""
+        stack = self._state.setdefault(core_id, [])
+        if stack:
+            prev, since = stack[-1]
+            if cycle > since:
+                self.state_spans.append((core_id, since, cycle, prev))
+            stack[-1] = (prev, cycle)
+        stack.append((state, cycle))
+
+    def pop_state(self, core_id: int, cycle: int) -> None:
+        """Return from an interrupting state to whatever was below it."""
+        stack = self._state.get(core_id)
+        if not stack:
+            return
+        state, since = stack.pop()
+        if cycle > since:
+            self.state_spans.append((core_id, since, cycle, state))
+        if stack:
+            prev, _ = stack[-1]
+            stack[-1] = (prev, cycle)
+
+    # ------------------------------------------------------------------
+    # Task lifecycle
+    # ------------------------------------------------------------------
+    def task_begin(self, core_id: int, cycle: int, task_id: int, name: str) -> None:
+        self._open_tasks.setdefault(core_id, []).append((task_id, name, cycle))
+
+    def task_end(self, core_id: int, cycle: int) -> None:
+        open_tasks = self._open_tasks.get(core_id)
+        if not open_tasks:
+            return
+        task_id, name, start = open_tasks.pop()
+        self.task_spans.append((core_id, start, cycle, task_id, name))
+
+    # ------------------------------------------------------------------
+    # Point / edge events
+    # ------------------------------------------------------------------
+    def steal(self, thief, victim, task_id, start_cycle, end_cycle, kind) -> None:
+        self.steals.append((thief, victim, task_id, start_cycle, end_cycle, kind))
+
+    def uli_message(self, src, dst, cycle, latency) -> None:
+        self.uli_messages.append((src, dst, cycle, latency))
+
+    def mem_burst(self, core_id, cycle, kind, lines, latency) -> None:
+        self.mem_bursts.append((core_id, cycle, kind, lines, latency))
+
+    def dram_sample(self, controller_id, cycle, queue_cycles) -> None:
+        self.dram_samples.append((controller_id, cycle, queue_cycles))
+
+    def counter_sample(self, cycle, deltas) -> None:
+        self.samples.append((cycle, deltas))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def set_meta(self, **meta) -> None:
+        self.meta.update(meta)
+
+    def finish(self, cycle: int) -> None:
+        """Close every open span at the end of the simulation."""
+        self.final_cycle = max(self.final_cycle, cycle)
+        for core_id in sorted(self._state):
+            stack = self._state[core_id]
+            while stack:
+                state, since = stack.pop()
+                if cycle > since:
+                    self.state_spans.append((core_id, since, cycle, state))
+        for core_id in sorted(self._open_tasks):
+            open_tasks = self._open_tasks[core_id]
+            while open_tasks:
+                task_id, name, start = open_tasks.pop()
+                self.task_spans.append((core_id, start, cycle, task_id, name))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def state_totals(self) -> Dict[int, Dict[str, int]]:
+        """Per-core cycles spent in each activity state (closed spans)."""
+        totals: Dict[int, Dict[str, int]] = {}
+        for core_id, start, end, state in self.state_spans:
+            per_core = totals.setdefault(core_id, {})
+            per_core[state] = per_core.get(state, 0) + (end - start)
+        return totals
+
+    def n_events(self) -> int:
+        return (
+            len(self.state_spans)
+            + len(self.task_spans)
+            + len(self.steals)
+            + len(self.uli_messages)
+            + len(self.mem_bursts)
+            + len(self.dram_samples)
+            + len(self.samples)
+        )

@@ -1,0 +1,64 @@
+"""Tests for the shared stderr telemetry helper (repro.harness.termlog)."""
+
+import pytest
+
+from repro.harness import termlog
+
+
+@pytest.fixture(autouse=True)
+def clean_state(monkeypatch):
+    monkeypatch.setattr(termlog, "_status_active", False)
+    yield
+
+
+def test_verbosity_default_and_env(monkeypatch):
+    monkeypatch.delenv("REPRO_VERBOSE", raising=False)
+    assert termlog.verbosity() == 1
+    monkeypatch.setenv("REPRO_VERBOSE", "2")
+    assert termlog.verbosity() == 2
+    monkeypatch.setenv("REPRO_VERBOSE", "junk")
+    assert termlog.verbosity() == 1
+
+
+def test_log_respects_verbosity(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_VERBOSE", "0")
+    termlog.log("hidden")
+    assert capsys.readouterr().err == ""
+    monkeypatch.setenv("REPRO_VERBOSE", "1")
+    termlog.log("shown")
+    termlog.log("debug-only", level=2)
+    assert capsys.readouterr().err == "shown\n"
+
+
+def test_status_line_is_terminated_before_log(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_VERBOSE", "1")
+    termlog.status("[1/2] working")
+    termlog.log("a full line")
+    err = capsys.readouterr().err
+    assert err == "\r[1/2] working\na full line\n"
+
+
+def test_end_status_writes_single_newline(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_VERBOSE", "1")
+    termlog.status("[2/2] done")
+    termlog.end_status()
+    termlog.end_status()  # idempotent
+    assert capsys.readouterr().err == "\r[2/2] done\n"
+
+
+def test_status_silenced_at_verbosity_zero(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_VERBOSE", "0")
+    termlog.status("nope")
+    assert capsys.readouterr().err == ""
+
+
+def test_progress_enabled_resolution(monkeypatch):
+    monkeypatch.delenv("REPRO_PROGRESS", raising=False)
+    monkeypatch.delenv("REPRO_VERBOSE", raising=False)
+    assert termlog.progress_enabled(None) is False
+    assert termlog.progress_enabled(True) is True
+    monkeypatch.setenv("REPRO_PROGRESS", "1")
+    assert termlog.progress_enabled(None) is True
+    assert termlog.progress_enabled(False) is False
+    monkeypatch.setenv("REPRO_VERBOSE", "0")
+    assert termlog.progress_enabled(True) is False
