@@ -1,0 +1,51 @@
+"""Simulator wall-clock throughput: event-fusion fast path vs slow path.
+
+Unlike the other benchmarks (which regenerate paper results), this one
+measures the *simulator itself*: simulated cycles per second and events
+per second over a small app×config mix, run twice per entry — once with
+the deterministic event-fusion fast path and once with it disabled
+(equivalent to ``REPRO_NO_FUSION=1``).  Each pair is differentially
+checked: ``StatGroup.flatten()`` must be identical between modes, so the
+benchmark doubles as a proof that fusion changes nothing.
+
+The payload is written to ``BENCH_wallclock.json`` (override with
+``REPRO_BENCH_OUT``).  Environment knobs:
+
+* ``REPRO_PERF_MIX=smoke``     — run the small CI mix (seconds).
+* ``REPRO_PERF_REPEATS=N``     — best-of-N wall time per mode (default 2).
+* ``REPRO_PERF_MIN_SPEEDUP=X`` — assert the mix aggregate speedup >= X.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.harness.perf import (
+    DEFAULT_MIX,
+    SMOKE_MIX,
+    format_report,
+    run_mix,
+    write_bench,
+)
+
+from conftest import print_block
+
+
+def test_wallclock_throughput():
+    mix = SMOKE_MIX if os.environ.get("REPRO_PERF_MIX") == "smoke" else DEFAULT_MIX
+    repeats = int(os.environ.get("REPRO_PERF_REPEATS", "2"))
+    # run_entry raises AssertionError if any fused/unfused pair disagrees
+    # on StatGroup.flatten(), so reaching the report proves determinism.
+    payload = run_mix(list(mix), repeats=repeats)
+    print_block(format_report(payload))
+    write_bench(payload, os.environ.get("REPRO_BENCH_OUT", "BENCH_wallclock.json"))
+
+    agg = payload["aggregate"]
+    assert all(e["stats_identical"] for e in payload["entries"])
+    assert agg["events_fused"] > 0, "fast path never engaged"
+    assert agg["events_per_sec"] > 0
+    floor = os.environ.get("REPRO_PERF_MIN_SPEEDUP")
+    if floor is not None:
+        assert agg["speedup"] >= float(floor), (
+            f"mix speedup {agg['speedup']:.2f}x below required {floor}x"
+        )

@@ -180,6 +180,32 @@ def _cmd_fig(args) -> int:
     return 0
 
 
+def _cmd_perf(args) -> int:
+    from repro.harness.perf import (
+        DEFAULT_MIX,
+        SMOKE_MIX,
+        format_report,
+        run_mix,
+        write_bench,
+    )
+
+    mix = SMOKE_MIX if args.smoke else DEFAULT_MIX
+    payload = run_mix(list(mix), repeats=args.repeats)
+    print(format_report(payload))
+    if args.out:
+        write_bench(payload, args.out)
+        print(f"\nbench written  : {args.out}", file=sys.stderr)
+    speedup = payload["aggregate"]["speedup"]
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        print(
+            f"FAIL: mix speedup {speedup:.2f}x below required "
+            f"{args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_workspan(args) -> int:
     from repro.harness import workspan
 
@@ -276,6 +302,26 @@ def main(argv=None) -> int:
     ws_parser.add_argument("app", choices=sorted(PAPER_APPS))
     ws_parser.add_argument("--scale", default="quick", choices=sorted(SCALES))
 
+    perf_parser = sub.add_parser(
+        "perf",
+        help="benchmark the simulator's own wall-clock throughput "
+             "(event-fusion fast path vs REPRO_NO_FUSION slow path)")
+    perf_parser.add_argument(
+        "--out", default="BENCH_wallclock.json", metavar="FILE",
+        help="write the benchmark payload as JSON (default: "
+             "BENCH_wallclock.json; pass '' to skip)")
+    perf_parser.add_argument(
+        "--repeats", type=positive_int, default=2, metavar="N",
+        help="runs per mode per entry; wall time is the best of N "
+             "(default: 2)")
+    perf_parser.add_argument(
+        "--smoke", action="store_true",
+        help="run the small CI smoke mix instead of the full default mix")
+    perf_parser.add_argument(
+        "--min-speedup", type=float, default=None, metavar="X",
+        help="exit non-zero if the mix-aggregate fused/unfused speedup "
+             "falls below X")
+
     args = parser.parse_args(argv)
     _apply_harness_flags(args)
     handler = {
@@ -285,6 +331,7 @@ def main(argv=None) -> int:
         "table": _cmd_table,
         "fig": _cmd_fig,
         "workspan": _cmd_workspan,
+        "perf": _cmd_perf,
     }[args.command]
     code = handler(args)
     if args.command in ("run", "table", "fig", "workspan"):

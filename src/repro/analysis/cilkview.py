@@ -200,11 +200,40 @@ class CilkviewAnalyzer:
         self._work += n
         self._span += n
 
-    @staticmethod
-    def _run_generator(gen) -> None:
-        """Drain a generator that never actually yields (functional mode)."""
+    def _run_generator(self, gen) -> None:
+        """Drive a task generator functionally.
+
+        Context methods (``ctx.load`` etc.) resolve without yielding, but
+        hot-path app code (``SimArray`` accessors, the throughput kernels)
+        yields ``repro.cores.ops`` objects directly; those are applied to
+        the functional memory here.
+        """
         try:
-            next(gen)
+            op = next(gen)
+            while True:
+                op = gen.send(self._apply_op(op))
         except StopIteration:
             return
-        raise AssertionError("functional analysis context should never yield")
+
+    def _apply_op(self, op):
+        """Execute one raw architectural op against functional memory."""
+        kind = op.KIND
+        mem = self.machine
+        if kind == "load":
+            self._count(1)
+            return mem.host_read_word(op.addr)
+        if kind == "store":
+            self._count(1)
+            mem.host_write_word(op.addr, op.value)
+            return None
+        if kind == "amo":
+            self._count(1)
+            old = mem.host_read_word(op.addr)
+            new, returned = apply_amo(op.op, old, op.operand)
+            mem.host_write_word(op.addr, new)
+            return returned
+        if kind == "work":
+            self._count(op.n)
+            return None
+        # idle / coherence / ULI ops are runtime artifacts: free here.
+        return None

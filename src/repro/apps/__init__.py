@@ -1,7 +1,7 @@
 """The paper's 13 dynamic task-parallel application kernels (Table III)."""
 
 # Importing the subpackages populates the application registry.
-from repro.apps import cilk5, ligra, ligra_apps  # noqa: F401
+from repro.apps import cilk5, kernels, ligra, ligra_apps  # noqa: F401
 from repro.apps.common import AppInstance, SimArray, app_names, make_app
 
 #: The 13 kernels of Table III, in the paper's presentation order.

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from repro.core.task import Task
+from repro.cores import ops
 from repro.machine import Machine
 from repro.mem.address import WORD_BYTES
 
@@ -34,19 +35,23 @@ class SimArray:
         return self.base + i * WORD_BYTES
 
     # Generator accessors (simulated traffic) -------------------------------
+    # These yield the op objects directly rather than delegating to the
+    # equivalent ThreadContext generators: every element access otherwise
+    # allocates an extra generator and adds a delegation link that each
+    # subsequent ``send`` re-traverses.
     def load(self, ctx, i: int):
-        value = yield from ctx.load(self.addr(i))
+        value = yield ops.Load(self.base + i * WORD_BYTES)
         return value
 
     def store(self, ctx, i: int, value):
-        yield from ctx.store(self.addr(i), value)
+        yield ops.Store(self.base + i * WORD_BYTES, value)
 
     def amo(self, ctx, op: str, i: int, operand):
-        old = yield from ctx.amo(op, self.addr(i), operand)
+        old = yield ops.Amo(op, self.base + i * WORD_BYTES, operand)
         return old
 
     def cas(self, ctx, i: int, expected, desired):
-        old = yield from ctx.cas(self.addr(i), expected, desired)
+        old = yield ops.Amo("cas", self.base + i * WORD_BYTES, (expected, desired))
         return old
 
     # Host accessors (setup / checking only) --------------------------------

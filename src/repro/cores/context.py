@@ -84,10 +84,10 @@ class ThreadContext:
     # Software coherence instructions
     # ------------------------------------------------------------------
     def cache_invalidate(self):
-        yield ops.InvAll()
+        yield ops.INV_ALL
 
     def cache_flush(self):
-        yield ops.FlushAll()
+        yield ops.FLUSH_ALL
 
     # ------------------------------------------------------------------
     # User-level interrupts (Direct Task Stealing)
@@ -98,10 +98,10 @@ class ThreadContext:
         return ack
 
     def uli_enable(self):
-        yield ops.UliEnable()
+        yield ops.ULI_ENABLE
 
     def uli_disable(self):
-        yield ops.UliDisable()
+        yield ops.ULI_DISABLE
 
     # ------------------------------------------------------------------
     # Helpers

@@ -14,6 +14,24 @@ buffer, enable/disable state, NACK when disabled/busy/halted, handler entry
 latency (a few cycles on tiny cores, tens on big cores — in-flight
 instructions must drain), and handler execution as a nested coroutine frame
 on top of the interrupted thread.
+
+Hot-path structure
+------------------
+
+Executing one architectural operation is the simulator's innermost loop,
+so the coroutine machinery is built around a *trampoline*
+(:meth:`Core._resume`): each iteration sends the previous result into the
+thread generator, dispatches the yielded op through a per-kind
+bound-method table (``_op_*``, each returning ``(result, latency)``), and
+then asks the simulator for the event-fusion fast path
+(:meth:`repro.engine.simulator.Simulator.try_fuse`).  If the completion
+is strictly earlier than every pending event the clock advances inline
+and the loop continues — no closure allocation, no heap traffic, no event
+dispatch.  Otherwise the op parks its result on the core and schedules a
+*preallocated* continuation (``_complete_cont``), which re-enters the
+trampoline when the event fires.  ULI handler entry is checked at exactly
+the op boundaries where the unfused path would check it, so fused and
+unfused runs are cycle- and statistic-identical.
 """
 
 from __future__ import annotations
@@ -45,6 +63,53 @@ TIME_CATEGORIES = (
 
 class Core:
     """One core tile: coroutine executor + ULI receiver."""
+
+    __slots__ = (
+        "core_id",
+        "sim",
+        "l1",
+        "tracer",
+        "is_big",
+        "issue_width",
+        "mlp_factor",
+        "uli_network",
+        "uli_entry_latency",
+        "stats",
+        "_frames",
+        "_resume_stack",
+        "halted",
+        "uli_enabled",
+        "_in_handler",
+        "_pending_uli",
+        "_uli_waiting",
+        "_deferred_uli_resp",
+        "_uli_send_time",
+        "_handler_entry_time",
+        "_wait_handler_cycles",
+        "uli_handler_factory",
+        "_peers",
+        "_pending_result",
+        "_complete_cont",
+        "_resume_none_cont",
+        "_dispatch_table",
+        "_cnt",
+        "_c_uli_handler",
+    )
+
+    #: Op kind -> unbound ``_op_*`` method name; bound per instance into
+    #: ``_dispatch_table`` so dispatch is one dict lookup + call.
+    _OP_METHODS = {
+        "work": "_op_work",
+        "idle": "_op_idle",
+        "load": "_op_load",
+        "store": "_op_store",
+        "amo": "_op_amo",
+        "invalidate": "_op_invalidate",
+        "flush": "_op_flush",
+        "uli_enable": "_op_uli_enable",
+        "uli_disable": "_op_uli_disable",
+        "uli_send": "_op_uli_send",
+    }
 
     def __init__(
         self,
@@ -86,6 +151,25 @@ class Core:
         #: Set by the runtime: thief_id -> handler generator.
         self.uli_handler_factory: Optional[Callable[[int], Generator]] = None
 
+        #: Wired by :meth:`attach_peers`; an unattached core fails loudly.
+        self._peers: Optional[List["Core"]] = None
+
+        # Preallocated continuations: the event queue carries these bound
+        # methods instead of a fresh closure per operation.
+        self._pending_result: Any = None
+        self._complete_cont = self._on_complete
+        self._resume_none_cont = self._resume_none
+
+        # Per-kind dispatch table and the raw counter dict of this core's
+        # stat group: op handlers run a few hundred thousand times per
+        # simulated millisecond, so they index the (in-place mutated)
+        # defaultdict directly instead of going through handle objects.
+        self._dispatch_table = {
+            kind: getattr(self, name) for kind, name in self._OP_METHODS.items()
+        }
+        self._cnt = self.stats._counters
+        self._c_uli_handler = self.stats.counter("cycles_uli_handler")
+
     # ------------------------------------------------------------------
     # Thread startup
     # ------------------------------------------------------------------
@@ -95,23 +179,103 @@ class Core:
             raise SimulationError(f"core {self.core_id} already running a thread")
         self._frames.append(thread)
         self.halted = False
-        self.sim.schedule(delay, lambda: self._step(None))
+        self.sim.schedule(delay, self._resume_none_cont)
 
     # ------------------------------------------------------------------
     # Coroutine machinery
     # ------------------------------------------------------------------
-    def _step(self, send_value: Any) -> None:
-        frame = self._frames[-1]
-        try:
-            op = frame.send(send_value)
-        except StopIteration:
-            self._frames.pop()
-            if self._in_handler and self._frames:
-                self._finish_handler()
-            elif not self._frames:
-                self.halted = True
+    def _resume_none(self) -> None:
+        self._resume(None)
+
+    def _on_complete(self) -> None:
+        """An operation's completion event fired: take a pending ULI
+        first (this is an op boundary), else resume the thread."""
+        result = self._pending_result
+        self._pending_result = None
+        if self._pending_uli is not None and self.uli_enabled and not self._in_handler:
+            self._resume_stack.append(result)
+            self._enter_handler()
             return
-        self._dispatch(op)
+        self._resume(result)
+
+    def _resume(self, value: Any) -> None:
+        """Drive the thread coroutine, fusing op completions inline.
+
+        Each iteration is one architectural operation: send the previous
+        result in, dispatch the yielded op, and either continue inline
+        (fusion granted: the completion is provably the next event) or
+        park the result and schedule the preallocated continuation.
+
+        The fusion test is :meth:`Simulator.try_fuse` inlined with its
+        operands hoisted to locals (the queue lists are mutated in place
+        and ``_fusible``/``max_cycles`` cannot change while a callback is
+        running, so hoisting is safe); with fusion disabled the loop pays
+        exactly one extra branch per op.
+        """
+        frames = self._frames
+        sim = self.sim
+        table = self._dispatch_table
+        queue = sim._queue
+        daemon_queue = sim._daemon_queue
+        max_cycles = sim.max_cycles
+        fusible = sim._fusible
+        fused = 0
+        frame = frames[-1]
+        try:
+            while True:
+                try:
+                    op = frame.send(value)
+                except StopIteration:
+                    frames.pop()
+                    if self._in_handler and frames:
+                        saved = self._finish_handler()
+                        if saved is _NO_RESULT:
+                            return
+                        value = saved
+                        frame = frames[-1]
+                        continue
+                    if not frames:
+                        self.halted = True
+                    return
+                try:
+                    fn = table[op.KIND]
+                except KeyError:
+                    raise SimulationError(f"unknown op kind {op.KIND!r}") from None
+                out = fn(op)
+                if out is None:
+                    # Asynchronous op (uli_send): resumes via deliver_uli_response.
+                    return
+                value, latency = out
+                if self._in_handler:
+                    # Victim-side DTS cost (Section VI-C: "<1% of execution time").
+                    self._c_uli_handler.add(latency)
+                completion = sim.now + latency
+                if (
+                    fusible
+                    and completion <= max_cycles
+                    and not sim._stop_requested
+                    and (not queue or queue[0][0] > completion)
+                    and (not daemon_queue or daemon_queue[0][0] > completion)
+                ):
+                    sim.now = completion
+                    fused += 1
+                    # Op boundary: identical ULI handler entry check to the
+                    # one _on_complete performs on the unfused path.
+                    if (
+                        self._pending_uli is not None
+                        and self.uli_enabled
+                        and not self._in_handler
+                    ):
+                        self._resume_stack.append(value)
+                        self._enter_handler()
+                        return
+                    continue
+                self._pending_result = value
+                sim.schedule_at(completion, self._complete_cont)
+                return
+        finally:
+            if fused:
+                sim.events_fused += fused
 
     def _charge_memory(self, latency: int) -> int:
         """Scale exposed memory latency for big cores (MLP overlap)."""
@@ -119,68 +283,88 @@ class Core:
             return latency
         return 1 + max(0, math.ceil((latency - 1) * self.mlp_factor))
 
-    def _dispatch(self, op: ops.Op) -> None:
-        kind = op.KIND
+    # ------------------------------------------------------------------
+    # Per-kind op execution (bound into _dispatch_table)
+    #
+    # Each returns (result, latency) — or None when the op completes
+    # asynchronously — and records its own instruction/cycle counters
+    # through the preallocated handles.
+    # ------------------------------------------------------------------
+    def _op_work(self, op: ops.Work):
+        n = op.n
+        issue_width = self.issue_width
+        latency = n if issue_width == 1 else math.ceil(n / issue_width)
+        if latency < 1:
+            latency = 1
+        cnt = self._cnt
+        cnt["instructions"] += n
+        cnt["cycles_compute"] += latency
+        return None, latency
+
+    def _op_idle(self, op: ops.Idle):
+        latency = max(1, op.n)
+        self._cnt["cycles_idle"] += latency
+        return None, latency
+
+    def _op_load(self, op: ops.Load):
         now = self.sim.now
-        if kind == "work":
-            latency = max(1, math.ceil(op.n / self.issue_width))
-            self.stats.add("instructions", op.n)
-            self._finish(kind, None, latency)
-        elif kind == "idle":
-            self._finish(kind, None, max(1, op.n))
-        elif kind == "load":
-            self.stats.add("instructions")
-            if op.bypass:
-                value, latency = self.l1.l2.read_word_bypass(self.core_id, op.addr, now)
-            else:
-                value, latency = self.l1.load(op.addr, now)
-            self._finish(kind, value, self._charge_memory(latency))
-        elif kind == "store":
-            self.stats.add("instructions")
-            latency = self.l1.store(op.addr, op.value, now)
-            self._finish(kind, None, self._charge_memory(latency))
-        elif kind == "amo":
-            self.stats.add("instructions")
-            old, latency = self.l1.amo(op.op, op.addr, op.operand, now)
-            self._finish(kind, old, self._charge_memory(latency))
-        elif kind == "invalidate":
-            self.stats.add("instructions")
-            latency = self.l1.invalidate_all(now)
-            self._finish(kind, None, max(1, latency))
-        elif kind == "flush":
-            self.stats.add("instructions")
-            latency = self.l1.flush_all(now)
-            self._finish(kind, None, max(1, latency))
-        elif kind == "uli_enable":
-            self.stats.add("instructions")
-            self.uli_enabled = True
-            self._finish("compute", None, 1)
-        elif kind == "uli_disable":
-            self.stats.add("instructions")
-            self.uli_enabled = False
-            self._finish("compute", None, 1)
-        elif kind == "uli_send":
-            self.stats.add("instructions")
-            self._send_uli(op.victim)
-        else:  # pragma: no cover - defensive
-            raise SimulationError(f"unknown op kind {kind!r}")
+        if op.bypass:
+            value, latency = self.l1.l2.read_word_bypass(self.core_id, op.addr, now)
+        else:
+            value, latency = self.l1.load(op.addr, now)
+        latency = self._charge_memory(latency)
+        cnt = self._cnt
+        cnt["instructions"] += 1
+        cnt["cycles_load"] += latency
+        return value, latency
 
-    def _finish(self, category: str, result: Any, latency: int) -> None:
-        if category not in TIME_CATEGORIES:
-            category = "compute"
-        self.stats.add(f"cycles_{category}", latency)
-        if self._in_handler:
-            # Victim-side DTS cost (Section VI-C's "<1% of execution time").
-            self.stats.add("cycles_uli_handler", latency)
-        self.sim.schedule(latency, lambda: self._complete(result))
+    def _op_store(self, op: ops.Store):
+        latency = self._charge_memory(self.l1.store(op.addr, op.value, self.sim.now))
+        cnt = self._cnt
+        cnt["instructions"] += 1
+        cnt["cycles_store"] += latency
+        return None, latency
 
-    def _complete(self, result: Any) -> None:
-        """An operation finished: take a pending ULI first, else resume."""
-        if self._can_enter_handler():
-            self._resume_stack.append(result)
-            self._enter_handler()
-            return
-        self._step(result)
+    def _op_amo(self, op: ops.Amo):
+        old, latency = self.l1.amo(op.op, op.addr, op.operand, self.sim.now)
+        latency = self._charge_memory(latency)
+        cnt = self._cnt
+        cnt["instructions"] += 1
+        cnt["cycles_amo"] += latency
+        return old, latency
+
+    def _op_invalidate(self, op: ops.InvAll):
+        latency = max(1, self.l1.invalidate_all(self.sim.now))
+        cnt = self._cnt
+        cnt["instructions"] += 1
+        cnt["cycles_invalidate"] += latency
+        return None, latency
+
+    def _op_flush(self, op: ops.FlushAll):
+        latency = max(1, self.l1.flush_all(self.sim.now))
+        cnt = self._cnt
+        cnt["instructions"] += 1
+        cnt["cycles_flush"] += latency
+        return None, latency
+
+    def _op_uli_enable(self, op: ops.UliEnable):
+        self.uli_enabled = True
+        cnt = self._cnt
+        cnt["instructions"] += 1
+        cnt["cycles_compute"] += 1
+        return None, 1
+
+    def _op_uli_disable(self, op: ops.UliDisable):
+        self.uli_enabled = False
+        cnt = self._cnt
+        cnt["instructions"] += 1
+        cnt["cycles_compute"] += 1
+        return None, 1
+
+    def _op_uli_send(self, op: ops.UliSend):
+        self._cnt["instructions"] += 1
+        self._send_uli(op.victim)
+        return None
 
     # ------------------------------------------------------------------
     # ULI sender side
@@ -208,7 +392,7 @@ class Core:
         wait = self.sim.now - self._uli_send_time - self._wait_handler_cycles
         self._wait_handler_cycles = 0
         self.stats.add("cycles_uli", max(0, wait))
-        self._step(ack)
+        self._resume(ack)
 
     # ------------------------------------------------------------------
     # ULI receiver side
@@ -232,7 +416,8 @@ class Core:
             # no op boundary will occur, so take the interrupt immediately.
             self._resume_stack.append(_NO_RESULT)
             self._enter_handler()
-        # Otherwise the handler starts at the next op boundary (_complete).
+        # Otherwise the handler starts at the next op boundary
+        # (_on_complete, or the fused boundary check in _resume).
 
     def _can_enter_handler(self) -> bool:
         return (
@@ -257,9 +442,15 @@ class Core:
         self.stats.add("cycles_uli_handler", self.uli_entry_latency)
         handler = self.uli_handler_factory(thief)
         self._frames.append(handler)
-        self.sim.schedule(self.uli_entry_latency, lambda: self._step(None))
+        self.sim.schedule(self.uli_entry_latency, self._resume_none_cont)
 
-    def _finish_handler(self) -> None:
+    def _finish_handler(self) -> Any:
+        """Tear down a finished handler frame.
+
+        Returns the value to resume the interrupted thread with, or
+        ``_NO_RESULT`` when that thread is still blocked on its own ULI
+        response (the caller must not step it).
+        """
         thief = self._pending_uli
         self._pending_uli = None
         self._in_handler = False
@@ -274,8 +465,8 @@ class Core:
             if self._deferred_uli_resp is not None:
                 resp, self._deferred_uli_resp = self._deferred_uli_resp, None
                 self.deliver_uli_response(resp)
-            return
-        self._step(saved)
+            return _NO_RESULT
+        return saved
 
     def _respond(self, thief_core_id: int, ack: bool) -> None:
         latency = self.uli_network.send_latency(self.core_id, thief_core_id)
@@ -285,13 +476,17 @@ class Core:
     # ------------------------------------------------------------------
     # Wiring
     # ------------------------------------------------------------------
-    _peers: List["Core"] = []
-
     def attach_peers(self, peers: List["Core"]) -> None:
         self._peers = peers
 
     def _peer(self, core_id: int) -> "Core":
-        return self._peers[core_id]
+        peers = self._peers
+        if peers is None:
+            raise SimulationError(
+                f"core {self.core_id} is not attached to any peers "
+                "(Machine must call attach_peers before ULI traffic)"
+            )
+        return peers[core_id]
 
     # ------------------------------------------------------------------
     # Introspection

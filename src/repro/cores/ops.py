@@ -104,3 +104,12 @@ class UliEnable(Op):
 class UliDisable(Op):
     KIND = "uli_disable"
     __slots__ = ()
+
+
+#: Shared instances of the stateless ops.  These classes carry no fields,
+#: so yielding the same object from every call site is safe and saves one
+#: allocation per architectural operation on the hot path.
+INV_ALL = InvAll()
+FLUSH_ALL = FlushAll()
+ULI_ENABLE = UliEnable()
+ULI_DISABLE = UliDisable()

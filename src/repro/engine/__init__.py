@@ -2,6 +2,6 @@
 
 from repro.engine.rng import XorShift64
 from repro.engine.simulator import SimulationError, Simulator
-from repro.engine.stats import StatGroup
+from repro.engine.stats import Counter, StatGroup
 
-__all__ = ["Simulator", "SimulationError", "StatGroup", "XorShift64"]
+__all__ = ["Counter", "Simulator", "SimulationError", "StatGroup", "XorShift64"]

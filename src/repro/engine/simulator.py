@@ -13,6 +13,41 @@ the last real event — so they cannot perturb a simulation's outcome.  The
 main event loop only pays one truthiness test per event for their
 existence, keeping untraced runs at full speed.
 
+Event fusion (the :meth:`Simulator.try_fuse` fast path)
+-------------------------------------------------------
+
+Most events in this simulator are core-operation completions: a core
+finishes a load/store/work op and schedules its own continuation a few
+cycles later.  When that continuation is due *strictly before* every other
+pending event — regular or daemon — executing it inline is exactly
+equivalent to a heappush immediately followed by a heappop of the same
+entry.  :meth:`try_fuse` implements that claim check: callers (the core's
+coroutine trampoline, see ``repro.cores.core.Core._resume``) ask "may I
+just advance the clock to ``time`` and keep running?" and the simulator
+answers yes only when
+
+* fusion is enabled and a ``run()`` without an ``until`` predicate is
+  active (an ``until`` predicate must be re-evaluated after *every*
+  event, so fusion is disabled for such runs),
+* ``stop()`` has not been requested,
+* ``time`` does not exceed ``max_cycles`` (the runaway guard must fire
+  exactly as it would on the heap path), and
+* ``time`` is strictly earlier than both the regular and the daemon
+  queue heads.
+
+The strict-less-than comparison is what makes fused and unfused runs
+provably identical: an event at the same cycle as the queue head must
+lose the FIFO tie-break (the queued event holds a smaller sequence
+number), so it is never fused.  Daemon events run just before the first
+regular event at-or-after their due time, so fusing past a due daemon
+event is likewise forbidden.  Under these rules the sequence of executed
+callbacks, the clock values they observe, and every statistic they record
+are identical whether fusion is on or off — only the host-side heap
+traffic disappears.  Set ``REPRO_NO_FUSION=1`` (or construct with
+``fusion=False``) to force every continuation through the heap for
+differential testing; the hot loop then pays a single extra branch per
+completed operation.
+
 This kernel is deliberately minimal: the memory system resolves most
 latencies analytically (see ``repro.mem``), so the event queue only carries
 core wake-ups, ULI deliveries, and watchdog checks.  That keeps the event
@@ -23,6 +58,7 @@ at interactive speed.
 from __future__ import annotations
 
 import heapq
+import os
 from typing import Callable, List, Optional, Tuple
 
 
@@ -33,7 +69,21 @@ class SimulationError(RuntimeError):
 class Simulator:
     """A deterministic discrete-event simulator with a cycle-granular clock."""
 
-    def __init__(self, max_cycles: int = 500_000_000):
+    __slots__ = (
+        "_queue",
+        "_daemon_queue",
+        "_seq",
+        "now",
+        "max_cycles",
+        "_running",
+        "_stop_requested",
+        "fusion_enabled",
+        "_fusible",
+        "events_executed",
+        "events_fused",
+    )
+
+    def __init__(self, max_cycles: int = 500_000_000, fusion: Optional[bool] = None):
         self._queue: List[Tuple[int, int, Callable[[], None]]] = []
         self._daemon_queue: List[Tuple[int, int, Callable[[], None]]] = []
         self._seq = 0
@@ -41,6 +91,16 @@ class Simulator:
         self.max_cycles = max_cycles
         self._running = False
         self._stop_requested = False
+        if fusion is None:
+            fusion = not os.environ.get("REPRO_NO_FUSION")
+        #: Whether the event-fusion fast path may be used at all.
+        self.fusion_enabled = bool(fusion)
+        #: True only inside a ``run()`` that is allowed to fuse.
+        self._fusible = False
+        #: Events executed through the heap (popped by the run loop).
+        self.events_executed = 0
+        #: Continuations executed inline via :meth:`try_fuse`.
+        self.events_fused = 0
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -70,6 +130,42 @@ class Simulator:
         self._seq += 1
 
     # ------------------------------------------------------------------
+    # Event fusion (fast path)
+    # ------------------------------------------------------------------
+    def try_fuse(self, time: int) -> bool:
+        """Claim an inline continuation at cycle ``time``.
+
+        Returns True — and advances the clock to ``time`` — when running
+        the continuation immediately is provably identical to scheduling
+        it and letting the run loop pop it next: ``time`` must be strictly
+        earlier than every pending regular and daemon event, within the
+        ``max_cycles`` guard, with no stop requested and no ``until``
+        predicate installed.  Returns False (clock untouched) otherwise;
+        the caller must then schedule normally.
+
+        When fusion is disabled this is a single-branch early exit, so the
+        unfused hot loop pays at most one extra branch per operation.
+        """
+        if not self._fusible:
+            return False
+        if self._stop_requested or time > self.max_cycles:
+            return False
+        queue = self._queue
+        if queue and queue[0][0] <= time:
+            return False
+        daemon_queue = self._daemon_queue
+        if daemon_queue and daemon_queue[0][0] <= time:
+            return False
+        self.now = time
+        self.events_fused += 1
+        return True
+
+    @property
+    def fusion_active(self) -> bool:
+        """Whether the current ``run()`` is allowed to fuse continuations."""
+        return self._fusible
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def run(self, until: Optional[Callable[[], bool]] = None) -> int:
@@ -81,9 +177,13 @@ class Simulator:
         """
         self._running = True
         self._stop_requested = False
+        # An ``until`` predicate must observe every event boundary, so its
+        # presence forces the slow path for the whole run.
+        self._fusible = self.fusion_enabled and until is None
         queue = self._queue
         daemon_queue = self._daemon_queue
         heappop = heapq.heappop
+        executed = 0
         try:
             while queue:
                 time, _seq, callback = heappop(queue)
@@ -97,11 +197,14 @@ class Simulator:
                     self.now = dtime
                     dcallback()
                 self.now = time
+                executed += 1
                 callback()
                 if self._stop_requested or (until is not None and until()):
                     break
         finally:
             self._running = False
+            self._fusible = False
+            self.events_executed += executed
         return self.now
 
     def stop(self) -> None:
@@ -112,3 +215,13 @@ class Simulator:
     def pending_events(self) -> int:
         """Pending non-daemon events (the ones that drive the run loop)."""
         return len(self._queue)
+
+    def fusion_stats(self) -> dict:
+        """Host-side event accounting: heap events vs fused continuations."""
+        total = self.events_executed + self.events_fused
+        return {
+            "events_executed": self.events_executed,
+            "events_fused": self.events_fused,
+            "events_total": total,
+            "fused_ratio": (self.events_fused / total) if total else 0.0,
+        }

@@ -14,6 +14,35 @@ from typing import Dict, Iterator, Tuple, Union
 Number = Union[int, float]
 
 
+class Counter:
+    """A precomputed-key handle onto one :class:`StatGroup` counter.
+
+    Hot paths (the core dispatch loop, the L1 hit paths) pay string
+    formatting and attribute lookups on every ``StatGroup.add(f"...")``
+    call.  A handle binds the counter dict and the final key once, so the
+    per-event cost collapses to one dict ``__setitem__``.  Handles stay
+    valid across :meth:`StatGroup.reset` / :meth:`StatGroup.set` (both
+    mutate the same dict in place), and a counter only materializes in
+    :meth:`StatGroup.flatten` output on its first ``add`` — exactly like
+    the string-keyed path.
+    """
+
+    __slots__ = ("_counters", "key")
+
+    def __init__(self, counters: Dict[str, Number], key: str):
+        self._counters = counters
+        self.key = key
+
+    def add(self, amount: Number = 1) -> None:
+        self._counters[self.key] += amount
+
+    def get(self, default: Number = 0) -> Number:
+        return self._counters.get(self.key, default)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.key!r}, {self._counters.get(self.key, 0)!r})"
+
+
 class StatGroup:
     """A named bag of counters with nested sub-groups."""
 
@@ -37,6 +66,10 @@ class StatGroup:
     def maximize(self, key: str, value: Number) -> None:
         if value > self._counters.get(key, value - 1):
             self._counters[key] = value
+
+    def counter(self, key: str) -> Counter:
+        """A hot-path handle for ``key`` (see :class:`Counter`)."""
+        return Counter(self._counters, key)
 
     # ------------------------------------------------------------------
     # Hierarchy

@@ -93,6 +93,22 @@ APP_PARAMS: Dict[str, Dict[str, dict]] = {
         "paper": dict(scale=9, grain=32),
         "large": dict(scale=10, grain=32),
     },
+    # Simulator-throughput microkernels (repro.apps.kernels) — not part of
+    # Table III; sized for the wall-clock benchmark, not for paper figures.
+    "kernel-spin": {
+        "tiny": dict(iters=20_000, grain=2048),
+        "quick": dict(iters=300_000, grain=8192),
+        "paper": dict(iters=1_000_000, grain=16384),
+        "large": dict(iters=4_000_000, grain=16384),
+    },
+    # n is sized to stay resident in a tiny core's 4 KB L1 (512 words), so
+    # the steady state measures the hit path rather than L2 thrash.
+    "kernel-stream": {
+        "tiny": dict(n=128, passes=16, grain=64),
+        "quick": dict(n=384, passes=160, grain=96),
+        "paper": dict(n=384, passes=500, grain=96),
+        "large": dict(n=384, passes=1000, grain=96),
+    },
 }
 
 #: Table V uses this subset of kernels at larger inputs (paper Section VI-D).

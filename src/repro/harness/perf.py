@@ -1,0 +1,182 @@
+"""Wall-clock throughput benchmark for the simulator itself.
+
+Runs a fixed mix of app×config entries twice — once with the event-fusion
+fast path enabled and once with it disabled — and reports host throughput
+(simulated cycles per second, events per second) plus the fused/unfused
+speedup.  Every run pair is differentially verified: ``StatGroup.flatten``
+must be identical between the two modes, turning the benchmark into a
+determinism proof as well as a stopwatch.
+
+The default mix is deliberately weighted toward dispatch-bound runs
+(the ``kernel-*`` throughput microkernels and serial-elision baselines):
+those measure the engine itself, which is what the fast path accelerates.
+Task-parallel runs on many-core configs appear too, but their event
+streams interleave across cores, so little fuses and their speedup is
+intentionally modest — the benchmark records the ratio per entry.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+#: Result schema version for BENCH_wallclock.json.
+BENCH_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class PerfEntry:
+    """One benchmarked simulation."""
+
+    app: str
+    kind: str
+    scale: str
+    serial: bool = False
+
+
+#: The tier-1 bench mix (EXPERIMENTS.md quotes numbers for this list).
+DEFAULT_MIX: Tuple[PerfEntry, ...] = (
+    PerfEntry("kernel-spin", "serial-io", "large", serial=True),
+    PerfEntry("kernel-spin", "serial-io", "quick", serial=True),
+    PerfEntry("kernel-stream", "serial-io", "quick", serial=True),
+    PerfEntry("cilk5-cs", "serial-io", "quick", serial=True),
+    PerfEntry("ligra-bfs", "serial-io", "quick", serial=True),
+    PerfEntry("cilk5-cs", "bt-hcc-dts-dnv", "tiny"),
+)
+
+#: Small mix for CI smoke runs (seconds, not minutes).
+SMOKE_MIX: Tuple[PerfEntry, ...] = (
+    PerfEntry("kernel-spin", "serial-io", "tiny", serial=True),
+    PerfEntry("kernel-stream", "serial-io", "tiny", serial=True),
+    PerfEntry("cilk5-cs", "bt-hcc-dts-dnv", "tiny"),
+)
+
+
+def _run_once(entry: PerfEntry, fusion: bool) -> Dict:
+    """Build a fresh machine, run the entry, return stats + wall time."""
+    from repro.apps import make_app
+    from repro.config import make_config
+    from repro.core import WorkStealingRuntime
+    from repro.harness.params import app_params
+    from repro.machine import Machine
+
+    app = make_app(entry.app, **app_params(entry.app, entry.scale))
+    machine = Machine(make_config(entry.kind, entry.scale))
+    app.setup(machine)
+    machine.sim.fusion_enabled = fusion
+    kwargs = {"serial_elision": True} if entry.serial else {}
+    runtime = WorkStealingRuntime(machine, **kwargs)
+    start = time.perf_counter()
+    cycles = runtime.run(app.make_root(serial=False))
+    wall = time.perf_counter() - start
+    app.check()
+    return {
+        "wall": wall,
+        "cycles": cycles,
+        "flatten": machine.stats.flatten(),
+        "fusion": machine.sim.fusion_stats(),
+    }
+
+
+def run_entry(entry: PerfEntry, repeats: int = 1) -> Dict:
+    """Benchmark one entry fused and unfused; verify identical statistics.
+
+    Wall time is the best of ``repeats`` runs per mode (standard practice
+    for throughput benchmarks: the minimum is the least-noisy estimator).
+    """
+    fused = [_run_once(entry, fusion=True) for _ in range(repeats)]
+    unfused = [_run_once(entry, fusion=False) for _ in range(repeats)]
+    reference = fused[0]["flatten"]
+    identical = all(r["flatten"] == reference for r in fused + unfused)
+    if not identical:
+        raise AssertionError(
+            f"{entry.app}/{entry.kind}/{entry.scale}: fused and unfused "
+            "runs disagree on StatGroup.flatten() — fusion changed results"
+        )
+    wall_fused = min(r["wall"] for r in fused)
+    wall_unfused = min(r["wall"] for r in unfused)
+    fusion = fused[0]["fusion"]
+    cycles = fused[0]["cycles"]
+    return {
+        "app": entry.app,
+        "kind": entry.kind,
+        "scale": entry.scale,
+        "serial": entry.serial,
+        "cycles": cycles,
+        "events": fusion["events_total"],
+        "events_fused": fusion["events_fused"],
+        "fused_ratio": fusion["fused_ratio"],
+        "wall_fused_s": wall_fused,
+        "wall_unfused_s": wall_unfused,
+        "speedup": wall_unfused / wall_fused if wall_fused > 0 else 0.0,
+        "sim_cycles_per_sec": cycles / wall_fused if wall_fused > 0 else 0.0,
+        "events_per_sec": (
+            fusion["events_total"] / wall_fused if wall_fused > 0 else 0.0
+        ),
+        "stats_identical": True,
+    }
+
+
+def run_mix(
+    mix: Optional[List[PerfEntry]] = None, repeats: int = 1
+) -> Dict:
+    """Run the whole mix; return the BENCH_wallclock.json payload."""
+    entries = [run_entry(e, repeats=repeats) for e in (mix or list(DEFAULT_MIX))]
+    wall_fused = sum(e["wall_fused_s"] for e in entries)
+    wall_unfused = sum(e["wall_unfused_s"] for e in entries)
+    events = sum(e["events"] for e in entries)
+    events_fused = sum(e["events_fused"] for e in entries)
+    return {
+        "schema": BENCH_SCHEMA,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "host": {
+            "python": sys.version.split()[0],
+            "implementation": platform.python_implementation(),
+            "machine": platform.machine(),
+        },
+        "repeats": repeats,
+        "entries": entries,
+        "aggregate": {
+            "wall_fused_s": wall_fused,
+            "wall_unfused_s": wall_unfused,
+            "speedup": wall_unfused / wall_fused if wall_fused > 0 else 0.0,
+            "events": events,
+            "events_fused": events_fused,
+            "fused_ratio": events_fused / events if events else 0.0,
+            "events_per_sec": events / wall_fused if wall_fused > 0 else 0.0,
+            "events_fused_per_sec": (
+                events_fused / wall_fused if wall_fused > 0 else 0.0
+            ),
+        },
+    }
+
+
+def write_bench(payload: Dict, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def format_report(payload: Dict) -> str:
+    """Human-readable table for the CLI."""
+    lines = [
+        f"{'app':<14} {'config':<16} {'scale':<6} {'events':>9} "
+        f"{'fused%':>7} {'Mev/s':>7} {'speedup':>8}"
+    ]
+    for e in payload["entries"]:
+        lines.append(
+            f"{e['app']:<14} {e['kind']:<16} {e['scale']:<6} "
+            f"{e['events']:>9} {100 * e['fused_ratio']:>6.1f}% "
+            f"{e['events_per_sec'] / 1e6:>7.2f} {e['speedup']:>7.2f}x"
+        )
+    agg = payload["aggregate"]
+    lines.append(
+        f"{'-- mix --':<38} {agg['events']:>9} "
+        f"{100 * agg['fused_ratio']:>6.1f}% "
+        f"{agg['events_per_sec'] / 1e6:>7.2f} {agg['speedup']:>7.2f}x"
+    )
+    return "\n".join(lines)

@@ -17,6 +17,13 @@ WORD_BYTES = 8
 LINE_BYTES = 64
 WORDS_PER_LINE = LINE_BYTES // WORD_BYTES
 
+# Precomputed shift/mask forms of the helpers below, for call-free address
+# arithmetic on hot paths: ``addr & LINE_MASK`` == ``line_addr(addr)`` and
+# ``(addr >> WORD_SHIFT) & WORD_INDEX_MASK`` == ``word_index(addr)``.
+LINE_MASK = ~(LINE_BYTES - 1)
+WORD_SHIFT = WORD_BYTES.bit_length() - 1
+WORD_INDEX_MASK = WORDS_PER_LINE - 1
+
 
 def line_addr(addr: int) -> int:
     """Base address of the cache line containing ``addr``."""

@@ -64,7 +64,14 @@ class CacheLine:
 
 
 class TagArray:
-    """Set-associative tag/data array with LRU replacement."""
+    """Set-associative tag/data array with LRU replacement.
+
+    For power-of-two geometries (every configuration the paper evaluates)
+    set indexing is a shift+mask; the div/mod fallback only exists for
+    exotic user-supplied sizes.  The LRU victim scan is a plain loop over
+    the (tiny, assoc-bounded) set so the hot eviction path allocates
+    nothing — no key lists, no comparison lambdas.
+    """
 
     def __init__(self, size_bytes: int, assoc: int, line_bytes: int = LINE_BYTES):
         if size_bytes % (assoc * line_bytes) != 0:
@@ -74,15 +81,27 @@ class TagArray:
         self.assoc = assoc
         self.line_bytes = line_bytes
         self.n_sets = size_bytes // (assoc * line_bytes)
+        self._pow2 = (
+            self.n_sets & (self.n_sets - 1) == 0
+            and line_bytes & (line_bytes - 1) == 0
+        )
+        self._shift = line_bytes.bit_length() - 1
+        self._mask = self.n_sets - 1
         self._sets: List[Dict[int, CacheLine]] = [dict() for _ in range(self.n_sets)]
         self._tick = 0
 
     def _set_index(self, line_addr: int) -> int:
+        if self._pow2:
+            return (line_addr >> self._shift) & self._mask
         return (line_addr // self.line_bytes) % self.n_sets
 
     def lookup(self, line_addr: int) -> Optional[CacheLine]:
         """Return the resident line, updating LRU; None on miss."""
-        line = self._sets[self._set_index(line_addr)].get(line_addr)
+        if self._pow2:
+            cache_set = self._sets[(line_addr >> self._shift) & self._mask]
+        else:
+            cache_set = self._sets[self._set_index(line_addr)]
+        line = cache_set.get(line_addr)
         if line is not None:
             self._tick += 1
             line.lru = self._tick
@@ -90,21 +109,36 @@ class TagArray:
 
     def peek(self, line_addr: int) -> Optional[CacheLine]:
         """Lookup without disturbing LRU (for snoops/recalls)."""
+        if self._pow2:
+            return self._sets[(line_addr >> self._shift) & self._mask].get(line_addr)
         return self._sets[self._set_index(line_addr)].get(line_addr)
 
     def insert(self, line: CacheLine) -> Optional[CacheLine]:
         """Insert ``line``; return the evicted victim line, if any."""
-        target = self._sets[self._set_index(line.addr)]
+        addr = line.addr
+        if self._pow2:
+            target = self._sets[(addr >> self._shift) & self._mask]
+        else:
+            target = self._sets[self._set_index(addr)]
         victim = None
-        if line.addr not in target and len(target) >= self.assoc:
-            victim_addr = min(target, key=lambda a: target[a].lru)
+        if len(target) >= self.assoc and addr not in target:
+            victim_addr = -1
+            victim_lru = -1
+            for cand_addr, cand in target.items():
+                if victim_lru < 0 or cand.lru < victim_lru:
+                    victim_lru = cand.lru
+                    victim_addr = cand_addr
             victim = target.pop(victim_addr)
         self._tick += 1
         line.lru = self._tick
-        target[line.addr] = line
+        target[addr] = line
         return victim
 
     def remove(self, line_addr: int) -> Optional[CacheLine]:
+        if self._pow2:
+            return self._sets[(line_addr >> self._shift) & self._mask].pop(
+                line_addr, None
+            )
         return self._sets[self._set_index(line_addr)].pop(line_addr, None)
 
     def lines(self) -> Iterator[CacheLine]:

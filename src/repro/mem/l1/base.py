@@ -66,6 +66,11 @@ class L1Cache:
         self.tags = TagArray(size_bytes, assoc)
         self.stats = stats.child(f"l1d_{core_id}")
         self.stats.set("size_bytes", size_bytes)
+        # Hot-path counters: the raw (in-place mutated) counter dict of the
+        # stat group, indexed with literal keys by the protocol hit paths —
+        # one dict add per access instead of string formatting + attribute
+        # chains (see repro.engine.stats.Counter for the handle variant).
+        self._cnt = self.stats._counters
         self._store_buffer: "deque[int]" = deque()
         l2.register_l1(core_id, self)
 
@@ -142,10 +147,21 @@ class L1Cache:
         if self.tracer.enabled:
             self.tracer.mem_burst(self.core_id, now, kind, lines, latency)
 
+    #: kind -> (access key, hit key), computed once instead of building an
+    #: f-string + ``rstrip`` on every cached access.
+    _ACCESS_KEYS = {
+        "loads": ("loads", "load_hits"),
+        "stores": ("stores", "store_hits"),
+        "amos": ("amos", "amo_hits"),
+    }
+
     def _record_access(self, kind: str, hit: bool) -> None:
-        self.stats.add(kind)
+        keys = self._ACCESS_KEYS.get(kind)
+        if keys is None:
+            keys = (kind, f"{kind.rstrip('s')}_hits")
+        self.stats.add(keys[0])
         if hit:
-            self.stats.add(f"{kind.rstrip('s')}_hits")
+            self.stats.add(keys[1])
 
     def hit_rate(self) -> float:
         """L1-D hit rate over loads + stores (Figure 6 of the paper)."""

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from repro.mem.address import line_addr
+from repro.mem.address import LINE_MASK, WORD_INDEX_MASK, WORD_SHIFT, line_addr
 from repro.mem.amo import apply_amo
 from repro.mem.cacheline import CacheLine, REGISTERED, VALID
 from repro.mem.l1.base import L1Cache
@@ -35,11 +35,13 @@ class DeNovoL1(L1Cache):
     # Operations
     # ------------------------------------------------------------------
     def load(self, addr: int, now: int) -> Tuple[int, int]:
-        line = self.tags.lookup(line_addr(addr))
+        line = self.tags.lookup(addr & LINE_MASK)
         if line is not None:
-            self._record_access("loads", True)
-            return line.data[self._word(addr)], self.hit_latency
-        self._record_access("loads", False)
+            cnt = self._cnt
+            cnt["loads"] += 1
+            cnt["load_hits"] += 1
+            return line.data[(addr >> WORD_SHIFT) & WORD_INDEX_MASK], self.hit_latency
+        self._cnt["loads"] += 1
         data, latency, _excl = self.l2.fetch_shared(
             self.core_id, addr, now + self.hit_latency, track_sharer=False
         )
@@ -47,13 +49,15 @@ class DeNovoL1(L1Cache):
         return data[self._word(addr)], self.hit_latency + latency
 
     def store(self, addr: int, value: int, now: int) -> int:
-        base = line_addr(addr)
+        base = addr & LINE_MASK
         line = self.tags.lookup(base)
         if line is not None and line.state == REGISTERED:
-            self._record_access("stores", True)
-            line.set_word(self._word(addr), value, dirty=True)
+            cnt = self._cnt
+            cnt["stores"] += 1
+            cnt["store_hits"] += 1
+            line.set_word((addr >> WORD_SHIFT) & WORD_INDEX_MASK, value, dirty=True)
             return self.hit_latency
-        self._record_access("stores", False)
+        self._cnt["stores"] += 1
         latency = self._register(line, base, addr, now)
         line = self.tags.peek(base)
         line.set_word(self._word(addr), value, dirty=True)
@@ -64,7 +68,7 @@ class DeNovoL1(L1Cache):
 
         AMOs are fences: they drain the store buffer first.
         """
-        self.stats.add("amos")
+        self._cnt["amos"] += 1
         drain = self._drain_store_buffer(now)
         now += drain
         base = line_addr(addr)

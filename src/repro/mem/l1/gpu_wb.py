@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Tuple
 
-from repro.mem.address import line_addr
+from repro.mem.address import LINE_MASK, WORD_INDEX_MASK, WORD_SHIFT, line_addr
 from repro.mem.amo import apply_amo
 from repro.mem.cacheline import CacheLine, FULL_MASK, VALID
 from repro.mem.l1.base import L1Cache
@@ -42,13 +42,15 @@ class GpuWbL1(L1Cache):
     # Operations
     # ------------------------------------------------------------------
     def load(self, addr: int, now: int) -> Tuple[int, int]:
-        base = line_addr(addr)
-        idx = self._word(addr)
+        base = addr & LINE_MASK
+        idx = (addr >> WORD_SHIFT) & WORD_INDEX_MASK
         line = self.tags.lookup(base)
-        if line is not None and line.word_valid(idx):
-            self._record_access("loads", True)
+        if line is not None and line.valid_mask & (1 << idx):
+            cnt = self._cnt
+            cnt["loads"] += 1
+            cnt["load_hits"] += 1
             return line.data[idx], self.hit_latency
-        self._record_access("loads", False)
+        self._cnt["loads"] += 1
         data, latency, _excl = self.l2.fetch_shared(
             self.core_id, addr, now + self.hit_latency, track_sharer=False
         )
@@ -64,14 +66,16 @@ class GpuWbL1(L1Cache):
         return line.data[idx], self.hit_latency + latency
 
     def store(self, addr: int, value: int, now: int) -> int:
-        base = line_addr(addr)
+        base = addr & LINE_MASK
         line = self.tags.lookup(base)
         if line is not None:
-            self._record_access("stores", True)
-            line.set_word(self._word(addr), value, dirty=True)
+            cnt = self._cnt
+            cnt["stores"] += 1
+            cnt["store_hits"] += 1
+            line.set_word((addr >> WORD_SHIFT) & WORD_INDEX_MASK, value, dirty=True)
             return self.hit_latency
         # Write-allocate without fetch: only the stored word is valid.
-        self._record_access("stores", False)
+        self._cnt["stores"] += 1
         line = CacheLine(base, VALID)
         line.valid_mask = 0
         line.set_word(self._word(addr), value, dirty=True)
@@ -84,7 +88,7 @@ class GpuWbL1(L1Cache):
         A dirty local copy of the target word must be flushed first so the
         L2 sees this core's latest value (fence-before-atomic).
         """
-        self.stats.add("amos")
+        self._cnt["amos"] += 1
         base = line_addr(addr)
         idx = self._word(addr)
         extra = 0

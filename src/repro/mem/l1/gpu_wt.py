@@ -16,7 +16,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Tuple
 
-from repro.mem.address import line_addr
+from repro.mem.address import LINE_MASK, WORD_INDEX_MASK, WORD_SHIFT, line_addr
 from repro.mem.cacheline import CacheLine, VALID
 from repro.mem.l1.base import L1Cache
 
@@ -41,11 +41,13 @@ class GpuWtL1(L1Cache):
     # Operations
     # ------------------------------------------------------------------
     def load(self, addr: int, now: int) -> Tuple[int, int]:
-        line = self.tags.lookup(line_addr(addr))
+        line = self.tags.lookup(addr & LINE_MASK)
         if line is not None:
-            self._record_access("loads", True)
-            return line.data[self._word(addr)], self.hit_latency
-        self._record_access("loads", False)
+            cnt = self._cnt
+            cnt["loads"] += 1
+            cnt["load_hits"] += 1
+            return line.data[(addr >> WORD_SHIFT) & WORD_INDEX_MASK], self.hit_latency
+        self._cnt["loads"] += 1
         data, latency, _excl = self.l2.fetch_shared(
             self.core_id, addr, now + self.hit_latency, track_sharer=False
         )
@@ -53,12 +55,12 @@ class GpuWtL1(L1Cache):
         return data[self._word(addr)], self.hit_latency + latency
 
     def store(self, addr: int, value: int, now: int) -> int:
-        line = self.tags.lookup(line_addr(addr))
-        hit = line is not None
-        self._record_access("stores", hit)
-        if hit:
+        line = self.tags.lookup(addr & LINE_MASK)
+        self._cnt["stores"] += 1
+        if line is not None:
+            self._cnt["store_hits"] += 1
             # Update-on-hit keeps the local copy coherent with our own writes.
-            line.set_word(self._word(addr), value, dirty=False)
+            line.set_word((addr >> WORD_SHIFT) & WORD_INDEX_MASK, value, dirty=False)
         stall = self._write_buffer_stall(now)
         wt_latency = self.l2.write_through_word(
             self.core_id, addr, value, now + stall + self.hit_latency
@@ -68,7 +70,7 @@ class GpuWtL1(L1Cache):
 
     def amo(self, op: str, addr: int, operand, now: int) -> Tuple[int, int]:
         """AMOs execute at the shared L2 (no ownership in private caches)."""
-        self.stats.add("amos")
+        self._cnt["amos"] += 1
         drain = self._drain_stall(now)
         old, latency = self.l2.amo_word(self.core_id, addr, op, operand, now + drain)
         line = self.tags.peek(line_addr(addr))

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from repro.mem.address import line_addr
+from repro.mem.address import LINE_MASK, WORD_INDEX_MASK, WORD_SHIFT, line_addr
 from repro.mem.amo import apply_amo
 from repro.mem.cacheline import (
     CacheLine,
@@ -36,11 +36,13 @@ class MesiL1(L1Cache):
     # Operations
     # ------------------------------------------------------------------
     def load(self, addr: int, now: int) -> Tuple[int, int]:
-        line = self.tags.lookup(line_addr(addr))
+        line = self.tags.lookup(addr & LINE_MASK)
         if line is not None:
-            self._record_access("loads", True)
-            return line.data[self._word(addr)], self.hit_latency
-        self._record_access("loads", False)
+            cnt = self._cnt
+            cnt["loads"] += 1
+            cnt["load_hits"] += 1
+            return line.data[(addr >> WORD_SHIFT) & WORD_INDEX_MASK], self.hit_latency
+        self._cnt["loads"] += 1
         data, latency, exclusive = self.l2.fetch_shared(
             self.core_id, addr, now + self.hit_latency, track_sharer=True
         )
@@ -49,20 +51,22 @@ class MesiL1(L1Cache):
         return data[self._word(addr)], self.hit_latency + latency
 
     def store(self, addr: int, value: int, now: int) -> int:
-        base = line_addr(addr)
+        base = addr & LINE_MASK
         line = self.tags.lookup(base)
         if line is not None and line.state in (MODIFIED, EXCLUSIVE):
-            self._record_access("stores", True)
+            cnt = self._cnt
+            cnt["stores"] += 1
+            cnt["store_hits"] += 1
             line.state = MODIFIED
-            line.set_word(self._word(addr), value, dirty=True)
+            line.set_word((addr >> WORD_SHIFT) & WORD_INDEX_MASK, value, dirty=True)
             return self.hit_latency
         if line is not None and line.state == SHARED:
-            self._record_access("stores", False)
+            self._cnt["stores"] += 1
             latency = self.l2.upgrade(self.core_id, addr, now + self.hit_latency)
             line.state = MODIFIED
             line.set_word(self._word(addr), value, dirty=True)
             return self._buffered_store_latency(now, latency)
-        self._record_access("stores", False)
+        self._cnt["stores"] += 1
         data, latency = self.l2.fetch_exclusive(self.core_id, addr, now + self.hit_latency)
         new = CacheLine(base, MODIFIED, data)
         new.set_word(self._word(addr), value, dirty=True)
@@ -74,7 +78,7 @@ class MesiL1(L1Cache):
 
         AMOs are fences: they drain the store buffer first.
         """
-        self.stats.add("amos")
+        self._cnt["amos"] += 1
         drain = self._drain_store_buffer(now)
         now += drain
         base = line_addr(addr)

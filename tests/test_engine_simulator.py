@@ -97,3 +97,156 @@ def test_run_returns_final_cycle():
     sim = Simulator()
     sim.schedule(42, lambda: None)
     assert sim.run() == 42
+
+
+# ----------------------------------------------------------------------
+# Event fusion (try_fuse fast path)
+# ----------------------------------------------------------------------
+
+def test_try_fuse_rejected_outside_run():
+    sim = Simulator(fusion=True)
+    assert not sim.try_fuse(10)
+    assert sim.now == 0
+    assert sim.events_fused == 0
+
+
+def test_try_fuse_rejected_when_fusion_disabled():
+    sim = Simulator(fusion=False)
+    results = []
+    sim.schedule(1, lambda: results.append(sim.try_fuse(5)))
+    sim.run()
+    assert results == [False]
+    assert sim.events_fused == 0
+
+
+def test_no_fusion_env_var_disables_fusion(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_FUSION", "1")
+    assert Simulator().fusion_enabled is False
+    monkeypatch.delenv("REPRO_NO_FUSION")
+    assert Simulator().fusion_enabled is True
+
+
+def test_fuse_succeeds_when_strictly_earlier_than_head():
+    sim = Simulator(fusion=True)
+    seen = []
+
+    def racer():
+        # Continuation at cycle 5 < queue head at 10: may fuse.
+        assert sim.try_fuse(5)
+        seen.append(sim.now)
+
+    sim.schedule(1, racer)
+    sim.schedule(10, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [5, 10]
+    assert sim.events_fused == 1
+
+
+def test_fuse_refused_on_time_tie_with_queue_head():
+    """An inline continuation tying the queue head must lose FIFO order."""
+    sim = Simulator(fusion=True)
+    seen = []
+
+    def racer():
+        # Continuation due exactly at the head's cycle: the queued event
+        # holds the smaller sequence number and must run first.
+        assert not sim.try_fuse(10)
+        sim.schedule_at(10, lambda: seen.append("late"))
+
+    sim.schedule(10, lambda: seen.append("head"))
+    sim.schedule(1, racer)
+    sim.run()
+    assert seen == ["head", "late"]
+    assert sim.events_fused == 0
+
+
+def test_fuse_refused_when_daemon_event_due():
+    sim = Simulator(fusion=True)
+    ticks = []
+    sim.schedule(7, lambda: ticks.append(("daemon", sim.now)), daemon=True)
+    results = []
+    sim.schedule(1, lambda: results.append(sim.try_fuse(7)))
+    sim.schedule(1, lambda: results.append(sim.try_fuse(8)))
+    sim.schedule(9, lambda: ticks.append(("real", sim.now)))
+    sim.run()
+    # Both attempts tie or pass the daemon due time 7: refused.
+    assert results == [False, False]
+    assert ticks == [("daemon", 7), ("real", 9)]
+
+
+def test_daemon_interleaving_identical_with_and_without_fusion():
+    """Daemon observers fire at the same points regardless of fusion."""
+    def scenario(fusion: bool):
+        sim = Simulator(fusion=fusion)
+        log = []
+
+        def chain(step: int):
+            log.append(("ev", sim.now))
+            if step >= 6:
+                return
+            target = sim.now + 4
+            if sim.try_fuse(target):
+                chain(step + 1)
+            else:
+                sim.schedule_at(target, lambda: chain(step + 1))
+
+        for due in (9, 18):
+            sim.schedule(due, lambda d=due: log.append(("daemon", sim.now)),
+                         daemon=True)
+        sim.schedule(2, lambda: chain(0))
+        sim.schedule(10, lambda: log.append(("other", sim.now)))
+        sim.run()
+        return log, sim.events_fused
+
+    fused_log, n_fused = scenario(True)
+    unfused_log, n_unfused = scenario(False)
+    assert fused_log == unfused_log
+    assert n_unfused == 0 and n_fused > 0
+
+
+def test_fuse_refused_after_stop():
+    sim = Simulator(fusion=True)
+    results = []
+
+    def first():
+        sim.stop()
+        results.append(sim.try_fuse(5))
+
+    sim.schedule(1, first)
+    sim.schedule(20, lambda: results.append("unreachable"))
+    sim.run()
+    assert results == [False]
+
+
+def test_until_predicate_disables_fusion_for_the_whole_run():
+    sim = Simulator(fusion=True)
+    results = []
+    sim.schedule(1, lambda: results.append(sim.try_fuse(5)))
+    sim.schedule(30, lambda: None)
+    sim.run(until=lambda: False)
+    assert results == [False]
+    assert sim.events_fused == 0
+
+
+def test_fuse_refused_beyond_max_cycles():
+    sim = Simulator(max_cycles=100, fusion=True)
+    results = []
+    sim.schedule(1, lambda: results.append(sim.try_fuse(101)))
+    sim.run()
+    assert results == [False]
+
+
+def test_fusion_stats_accounting():
+    sim = Simulator(fusion=True)
+
+    def fuser():
+        assert sim.try_fuse(sim.now + 1)
+
+    sim.schedule(1, fuser)
+    sim.schedule(10, lambda: None)
+    sim.run()
+    stats = sim.fusion_stats()
+    assert stats["events_executed"] == 2
+    assert stats["events_fused"] == 1
+    assert stats["events_total"] == 3
+    assert stats["fused_ratio"] == pytest.approx(1 / 3)
