@@ -77,6 +77,7 @@ def _cmd_run(args) -> int:
     result = run_experiment(
         args.app, args.config, args.scale, serial=args.serial,
         tracer=tracer, sample_interval=sample_interval,
+        faults=args.faults, sanitize=args.sanitize, watchdog=args.watchdog,
     )
     if tracer is not None:
         from repro.trace import export_chrome_trace
@@ -101,6 +102,11 @@ def _cmd_run(args) -> int:
     print(f"inv/flush lines: {result.lines_invalidated}/{result.lines_flushed}")
     print(f"traffic bytes  : {result.total_traffic}")
     print(f"energy (pJ)    : {result.energy.total_pj:.3e}")
+    if "faults_fired" in result.extras:
+        print(f"faults fired   : {int(result.extras['faults_fired'])}")
+    if "sanitizer_walks" in result.extras:
+        print(f"sanitizer walks: {int(result.extras['sanitizer_walks'])} "
+              "(0 violations)")
     if args.baseline:
         serial = run_serial_baseline(args.app, args.scale)
         print(f"speedup vs serial-IO: {serial.cycles / result.cycles:.2f}x")
@@ -206,6 +212,35 @@ def _cmd_perf(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from repro.harness.fuzz import run_fuzz
+
+    report = run_fuzz(
+        app_name=args.app,
+        kind=args.config,
+        scale=args.scale,
+        seeds=range(args.seed_base, args.seed_base + args.seeds),
+        plan=args.plan,
+        sanitize=not args.no_sanitize,
+        watchdog=args.watchdog,
+        break_coherence=args.break_coherence,
+    )
+    print(report.summary())
+    if args.out:
+        import json
+
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report.as_dict(), fh, indent=1, sort_keys=True)
+        print(f"report written : {args.out}", file=sys.stderr)
+    if args.expect_violations:
+        # Positive-control mode: the sweep must FIND something.
+        if report.n_violations == 0:
+            print("FAIL: expected violations, found none", file=sys.stderr)
+            return 1
+        return 0
+    return 0 if report.ok else 1
+
+
 def _cmd_workspan(args) -> int:
     from repro.harness import workspan
 
@@ -266,6 +301,20 @@ def main(argv=None) -> int:
     run_parser.add_argument("--trace-interval", type=positive_int, default=10_000,
                             metavar="N", help="stat sampling interval in cycles "
                                               "for --trace (default: 10000)")
+    run_parser.add_argument("--faults", default=None, metavar="SPEC",
+                            help="inject faults: a preset (timing, full, evict, "
+                                 "steal) optionally followed by key=value "
+                                 "overrides, e.g. 'timing,seed=7' "
+                                 "(bypasses nothing; faulted runs get their own "
+                                 "cache/store keys)")
+    run_parser.add_argument("--sanitize", action="store_true",
+                            help="run the coherence-invariant sanitizer; any "
+                                 "violation fails the run")
+    run_parser.add_argument("--watchdog", type=positive_int, default=None,
+                            metavar="CYCLES",
+                            help="deadlock watchdog grace: raise a diagnostic "
+                                 "DeadlockError after CYCLES cycles without "
+                                 "runtime progress")
 
     trace_parser = sub.add_parser(
         "trace",
@@ -296,6 +345,37 @@ def main(argv=None) -> int:
         "fig", help="regenerate a paper figure", parents=[harness_flags])
     fig_parser.add_argument("number", type=int, choices=(4, 5, 6, 7, 8))
     fig_parser.add_argument("--scale", default="quick", choices=sorted(SCALES))
+
+    fuzz_parser = sub.add_parser(
+        "fuzz",
+        help="sweep fault-injection seeds under the sanitizer and assert "
+             "nothing breaks (timing-only plans must not change the answer)")
+    fuzz_parser.add_argument("--app", type=_app_arg, default="cilk5-cs",
+                             metavar="APP", help="application (default: cilk5-cs)")
+    fuzz_parser.add_argument("--config", "--kind", dest="config", type=_kind_arg,
+                             default="bt-hcc-dts-gwb", metavar="KIND")
+    fuzz_parser.add_argument("--scale", default="tiny", choices=sorted(SCALES))
+    fuzz_parser.add_argument("--seeds", type=positive_int, default=5, metavar="N",
+                             help="number of fault seeds to sweep (default: 5)")
+    fuzz_parser.add_argument("--seed-base", type=int, default=1, metavar="S",
+                             help="first seed of the sweep (default: 1)")
+    fuzz_parser.add_argument("--plan", default="timing", metavar="SPEC",
+                             help="fault plan preset/spec (default: timing; "
+                                  "'full' adds forced evictions + steal aborts)")
+    fuzz_parser.add_argument("--no-sanitize", action="store_true",
+                             help="skip the invariant sanitizer (faults only)")
+    fuzz_parser.add_argument("--watchdog", type=positive_int,
+                             default=2_000_000, metavar="CYCLES",
+                             help="watchdog grace per run (default: 2000000)")
+    fuzz_parser.add_argument("--break-coherence", default=None,
+                             choices=("no-thief-flush", "no-parent-invalidate"),
+                             help="deliberately break the runtime's flush "
+                                  "discipline (sanitizer positive control)")
+    fuzz_parser.add_argument("--expect-violations", action="store_true",
+                             help="invert the verdict: fail unless the sweep "
+                                  "finds at least one violation")
+    fuzz_parser.add_argument("--out", default=None, metavar="FILE",
+                             help="write the full fuzz report as JSON")
 
     ws_parser = sub.add_parser(
         "workspan", help="Cilkview work/span analysis", parents=[harness_flags])
@@ -332,6 +412,7 @@ def main(argv=None) -> int:
         "fig": _cmd_fig,
         "workspan": _cmd_workspan,
         "perf": _cmd_perf,
+        "fuzz": _cmd_fuzz,
     }[args.command]
     code = handler(args)
     if args.command in ("run", "table", "fig", "workspan"):

@@ -122,6 +122,52 @@ class _StreamLeaf(Task):
                 addr += WORD_BYTES
 
 
+class _DeadlockRoot(Task):
+    """AMO-spin on a flag no task will ever set: a guaranteed livelock."""
+
+    ARG_WORDS = 2
+
+    def __init__(self, app: "KernelDeadlock"):
+        super().__init__()
+        self.app = app
+
+    def execute(self, rt, ctx):
+        while True:
+            value = yield from self.app.flag.amo(ctx, "add", 0, 0)
+            if value:  # never: nothing writes the flag
+                return
+
+
+@register_app("kernel-deadlock")
+class KernelDeadlock(AppInstance):
+    """Deliberately wedged kernel for watchdog and crash-tolerant-sweep tests.
+
+    The root task spins on a flag nobody sets, so the simulation makes no
+    runtime progress forever: without a watchdog it grinds to the
+    ``max_cycles`` guard; with one it raises a diagnostic
+    :class:`~repro.engine.DeadlockError` within ~1.25x the grace window.
+    Not part of the paper's Table III.
+    """
+
+    name = "kernel-deadlock"
+    pm = "ss"
+
+    def __init__(self):
+        super().__init__()
+        self.flag: SimArray = None
+
+    def setup(self, machine) -> None:
+        self.machine = machine
+        self.flag = SimArray(machine, 1, "deadlock_flag")
+        self.flag.host_fill(0)
+
+    def make_root(self, serial: bool = False) -> Task:
+        return _DeadlockRoot(self)
+
+    def check(self) -> None:
+        raise AssertionError("kernel-deadlock never completes")
+
+
 @register_app("kernel-stream")
 class KernelStream(AppInstance):
     name = "kernel-stream"

@@ -37,6 +37,10 @@ class ChaseLevDeque:
     def __init__(self, machine, owner_tid: int, capacity: int = 4096):
         self.owner_tid = owner_tid
         self.capacity = capacity
+        # Fault-injection hook (repro.faults): steal-abort storms.  Only
+        # steal() consults it — take() must never abort, because losing
+        # the owner's pop of the last task would deadlock the runtime.
+        self.fault_injector = getattr(machine, "fault_injector", None)
         base = machine.address_space.alloc_words(2 + capacity, f"cldeque_{owner_tid}")
         self.head_addr = base
         self.tail_addr = base + WORD_BYTES
@@ -89,6 +93,12 @@ class ChaseLevDeque:
         head = yield from ctx.amo_or(self.head_addr, 0)
         tail = yield from ctx.amo_or(self.tail_addr, 0)
         if head >= tail:
+            return 0
+        if self.fault_injector is not None and self.fault_injector.steal_aborts(
+            ctx.tid
+        ):
+            # Adversarial abort before the claiming CAS: indistinguishable
+            # from losing the race, so the task stays stealable.
             return 0
         if ctx.core.l1.NEEDS_INVALIDATE:
             # The slot may be stale in our private cache.

@@ -29,6 +29,7 @@ from repro.core.chaselev import ChaseLevDeque
 from repro.core.task import Task
 from repro.core.taskqueue import TaskDeque
 from repro.engine.simulator import SimulationError
+from repro.engine.watchdog import Watchdog
 from repro.machine import Machine
 from repro.mem.address import WORD_BYTES
 from repro.trace.tracer import NULL_TRACER
@@ -62,6 +63,8 @@ class WorkStealingRuntime:
         serial_elision: bool = False,
         deque_kind: str = "lock",
         steal_policy: str = "random",
+        watchdog: Optional[int] = None,
+        break_coherence: Optional[str] = None,
     ):
         if variant is None:
             if machine.config.dts:
@@ -93,6 +96,19 @@ class WorkStealingRuntime:
         #: run the root of the task tree and hold the largest subtasks.
         self.steal_policy = steal_policy
         self._big_core_ids = machine.big_core_ids()
+        #: Deadlock watchdog grace period in cycles (None = no watchdog).
+        #: Must exceed the longest single task's cycle count: the heartbeat
+        #: only advances at scheduling points (task start, spawn, handler).
+        self.watchdog_grace = watchdog
+        #: Deliberately-broken coherence disciplines for sanitizer positive
+        #: controls (repro.sanitize): "no-thief-flush" skips the flush
+        #: after a stolen task; "no-parent-invalidate" skips the parent's
+        #: post-wait invalidate.  Never use outside robustness testing.
+        if break_coherence not in (None, "no-thief-flush", "no-parent-invalidate"):
+            raise ValueError(f"unknown break_coherence mode {break_coherence!r}")
+        self.break_coherence = break_coherence
+        #: Monotonic scheduling-progress counter sampled by the watchdog.
+        self.progress = 0
         if deque_kind == "chase-lev" and variant == "dts":
             raise ValueError(
                 "DTS makes deques thread-private; a lock-free deque is moot"
@@ -148,6 +164,7 @@ class WorkStealingRuntime:
     def spawn(self, ctx, task: Task):
         """Figure 3 ``task::spawn``: enqueue on the current thread's deque."""
         self.stats.add("spawns")
+        self.progress += 1
         dq = self.deques[ctx.tid]
         if self.deque_kind == "chase-lev":
             # Lock-free publication; the push itself flushes user data on
@@ -216,6 +233,7 @@ class WorkStealingRuntime:
     # ------------------------------------------------------------------
     def _run_task(self, ctx, task: Task):
         self.stats.add("tasks_executed")
+        self.progress += 1
         if self._tracing:
             now = self.machine.sim.now
             self.tracer.core_state(ctx.tid, now, "running-task")
@@ -374,7 +392,8 @@ class WorkStealingRuntime:
         # its writes, flush afterwards so the parent can see ours.
         yield from ctx.cache_invalidate()
         yield from self._run_task(ctx, task)
-        yield from ctx.cache_flush()
+        if self.break_coherence != "no-thief-flush":
+            yield from ctx.cache_flush()
         yield from self._decrement_parent_amo(ctx, task)
         return True
 
@@ -390,7 +409,8 @@ class WorkStealingRuntime:
                 yield from self._steal_hcc(ctx)
         # A child may have been stolen and executed remotely: invalidate so
         # the parent sees its children's writes (DAG consistency, req. 2).
-        yield from ctx.cache_invalidate()
+        if self.break_coherence != "no-parent-invalidate":
+            yield from ctx.cache_invalidate()
 
     # ------------------------------------------------------------------
     # Variant: direct task stealing (Figure 3c)
@@ -450,7 +470,8 @@ class WorkStealingRuntime:
             )
         yield from ctx.cache_invalidate()
         yield from self._run_task(ctx, task)
-        yield from ctx.cache_flush()
+        if self.break_coherence != "no-thief-flush":
+            yield from ctx.cache_flush()
         yield from self._decrement_parent_amo(ctx, task)
         return True
 
@@ -476,7 +497,7 @@ class WorkStealingRuntime:
             hsc = yield from ctx.load(parent.hsc_addr)
         else:
             hsc = 1
-        if hsc:
+        if hsc and self.break_coherence != "no-parent-invalidate":
             # Some child ran remotely: invalidate to see its writes.
             yield from ctx.cache_invalidate()
 
@@ -498,6 +519,9 @@ class WorkStealingRuntime:
             else:
                 task_id = yield from dq.steal_head(ctx)
             if task_id:
+                # Only a successful export is watchdog progress: a wedged
+                # victim still answers steal requests with NACKs forever.
+                self.progress += 1
                 task = self.tasks[task_id]
                 if task.parent is not None:
                     yield from ctx.store(task.parent.hsc_addr, 1)
@@ -550,7 +574,21 @@ class WorkStealingRuntime:
             else:
                 machine.cores[tid].start(self._worker_thread(ctx))
         start = machine.sim.now
-        machine.sim.run()
+        watchdog = None
+        if self.watchdog_grace is not None:
+            watchdog = Watchdog(
+                machine.sim,
+                progress=lambda: self.progress,
+                grace=self.watchdog_grace,
+                outstanding=lambda: not self.done,
+                diagnose=self.diagnostic,
+            )
+            watchdog.arm()
+        try:
+            machine.sim.run()
+        finally:
+            if watchdog is not None:
+                watchdog.cancel()
         if not self.done:
             raise SimulationError("simulation drained without completing the program")
         if self._tracing:
@@ -562,3 +600,36 @@ class WorkStealingRuntime:
     # ------------------------------------------------------------------
     def mailbox_addr(self, tid: int) -> int:
         return self._mailboxes[tid]
+
+    def diagnostic(self) -> dict:
+        """JSON-able stalled-state dump for DeadlockError / failed grid points.
+
+        Everything here is simulated state (no object identities or host
+        timestamps) so the dump is deterministic and pickles across the
+        grid's worker processes.
+        """
+        machine = self.machine
+        cores = {}
+        for core in machine.cores:
+            cores[str(core.core_id)] = {
+                "halted": core.halted,
+                "uli_enabled": core.uli_enabled,
+                "in_handler": core._in_handler,
+                "uli_waiting": core._uli_waiting,
+                "pending_uli_from": core._pending_uli,
+                "breakdown": dict(core.cycle_breakdown()),
+            }
+        deques = {}
+        for tid, dq in enumerate(self.deques):
+            deques[str(tid)] = {
+                "head": machine.host_read_word(dq.head_addr),
+                "tail": machine.host_read_word(dq.tail_addr),
+            }
+        return {
+            "variant": self.variant,
+            "deque_kind": self.deque_kind,
+            "done": self.done,
+            "runtime_stats": {k: v for k, v in self.stats.items()},
+            "cores": cores,
+            "deques": deques,
+        }

@@ -3,5 +3,14 @@
 from repro.engine.rng import XorShift64
 from repro.engine.simulator import SimulationError, Simulator
 from repro.engine.stats import Counter, StatGroup
+from repro.engine.watchdog import DeadlockError, Watchdog
 
-__all__ = ["Counter", "Simulator", "SimulationError", "StatGroup", "XorShift64"]
+__all__ = [
+    "Counter",
+    "DeadlockError",
+    "SimulationError",
+    "Simulator",
+    "StatGroup",
+    "Watchdog",
+    "XorShift64",
+]

@@ -192,10 +192,20 @@ class Simulator:
                         f"simulation exceeded max_cycles={self.max_cycles}; "
                         "likely deadlock or runaway spin loop"
                     )
-                while daemon_queue and daemon_queue[0][0] <= time:
-                    dtime, _dseq, dcallback = heappop(daemon_queue)
-                    self.now = dtime
-                    dcallback()
+                if daemon_queue and daemon_queue[0][0] <= time:
+                    while daemon_queue and daemon_queue[0][0] <= time:
+                        dtime, _dseq, dcallback = heappop(daemon_queue)
+                        self.now = dtime
+                        dcallback()
+                        if self._stop_requested:
+                            break
+                    if self._stop_requested:
+                        # A daemon (e.g. the deadlock watchdog) stopped the
+                        # run: the popped regular event has not executed,
+                        # so put it back and stop before it (and before any
+                        # later daemon) can fire.
+                        heapq.heappush(queue, (time, _seq, callback))
+                        break
                 self.now = time
                 executed += 1
                 callback()

@@ -1,0 +1,11 @@
+"""Deterministic fault injection (`repro.faults`).
+
+See :mod:`repro.faults.plan` for what can be perturbed and
+:mod:`repro.faults.inject` for how the perturbations are drawn and
+recorded.  DESIGN.md §6 documents the fault-site map.
+"""
+
+from repro.faults.inject import FaultInjector, make_injector
+from repro.faults.plan import FaultPlan
+
+__all__ = ["FaultInjector", "FaultPlan", "make_injector"]

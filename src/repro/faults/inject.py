@@ -1,0 +1,137 @@
+"""The runtime half of fault injection: seeded streams + per-site hooks.
+
+One :class:`FaultInjector` is built per :class:`~repro.machine.Machine`
+when a :class:`~repro.faults.plan.FaultPlan` is supplied.  Components that
+host a fault site (mesh, ULI network, DRAM controllers, L1 caches, the
+Chase-Lev deque) carry a ``fault_injector`` attribute that defaults to
+``None`` at class level; the machine sets it on the instances it builds.
+Every site therefore costs exactly one ``is not None`` branch when no
+plan is active, and nothing at all when the attribute stays the class
+default.
+
+Determinism rules:
+
+* The injector derives all randomness from a **private**
+  :class:`~repro.engine.rng.XorShift64` seeded from ``plan.seed`` mixed
+  with the machine seed.  It never touches ``machine.rng``, so thread
+  context RNG streams are bit-identical with and without a plan — a
+  prerequisite for comparing faulted and clean runs.
+* Each site gets its own forked stream (one per core for L1 evictions),
+  so enabling one fault type does not reshuffle another's draws.
+* Sites draw in component code that executes identically under the fused
+  and unfused event paths, so faulted runs stay byte-identical across
+  ``REPRO_NO_FUSION``.
+
+Fired faults are counted in ``stats`` (a ``faults`` stat group) and, when
+a recording tracer is attached, appended to the trace's fault track.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.rng import XorShift64
+from repro.faults.plan import FaultPlan
+from repro.trace import NULL_TRACER
+
+#: Golden-ratio odd constant for seed mixing (splitmix64 increment).
+_SEED_MIX = 0x9E3779B97F4A7C15
+
+
+class FaultInjector:
+    """Per-machine fault state: plan, private RNG streams, counters."""
+
+    __slots__ = (
+        "plan",
+        "tracer",
+        "stats",
+        "sim",
+        "_noc_rng",
+        "_uli_rng",
+        "_steal_rng",
+        "_l1_rngs",
+    )
+
+    def __init__(self, plan: FaultPlan, machine_seed: int, n_cores: int,
+                 stats, sim, tracer=None):
+        self.plan = plan
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.stats = stats.child("faults")
+        self.sim = sim
+        root = XorShift64((plan.seed * _SEED_MIX) ^ machine_seed ^ _SEED_MIX)
+        self._noc_rng = root.fork()
+        self._uli_rng = root.fork()
+        self._steal_rng = root.fork()
+        self._l1_rngs = [root.fork() for _ in range(n_cores)]
+
+    # ------------------------------------------------------------------
+    # Site hooks — one per instrumented component
+    # ------------------------------------------------------------------
+    def noc_extra(self) -> int:
+        """Extra cycles for one mesh message (``noc/mesh.py``)."""
+        plan = self.plan
+        if plan.noc_jitter_prob and self._noc_rng.random() < plan.noc_jitter_prob:
+            self.stats.add("noc_jitter")
+            self.tracer.fault("noc", self.sim.now, plan.noc_jitter_cycles)
+            return plan.noc_jitter_cycles
+        return 0
+
+    def uli_extra(self, src: int, dst: int) -> int:
+        """Extra wire latency for one ULI message (``noc/uli.py``)."""
+        plan = self.plan
+        if plan.uli_delay_prob and self._uli_rng.random() < plan.uli_delay_prob:
+            self.stats.add("uli_delay")
+            self.tracer.fault("uli", self.sim.now, plan.uli_delay_cycles)
+            return plan.uli_delay_cycles
+        return 0
+
+    def dram_service(self, now: int, service: int) -> int:
+        """Possibly-throttled DRAM service time (``mem/dram.py``).
+
+        Deterministic in ``now`` (no RNG draw): every ``period`` cycles
+        the first ``window`` cycles multiply service time by ``factor``.
+        """
+        plan = self.plan
+        if plan.dram_throttle_period and (
+            now % plan.dram_throttle_period < plan.dram_throttle_window
+        ):
+            self.stats.add("dram_throttle")
+            self.tracer.fault("dram", now, service * (plan.dram_throttle_factor - 1))
+            return service * plan.dram_throttle_factor
+        return service
+
+    def l1_evict_fires(self, core_id: int) -> bool:
+        """Should this line fill force-evict a victim? (``mem/l1/base.py``)."""
+        plan = self.plan
+        if plan.l1_evict_prob and self._l1_rngs[core_id].random() < plan.l1_evict_prob:
+            # Counted by the cache itself (it knows whether a candidate
+            # victim actually existed); only the trace event lands here.
+            self.tracer.fault("l1_evict", self.sim.now, core_id)
+            return True
+        return False
+
+    def l1_pick_victim(self, core_id: int, candidates):
+        """Choose which resident line to force-evict."""
+        return candidates[self._l1_rngs[core_id].randint(0, len(candidates) - 1)]
+
+    def steal_aborts(self, thief_tid: int) -> bool:
+        """Should this Chase-Lev steal give up pre-CAS? (``core/chaselev.py``)."""
+        plan = self.plan
+        if plan.steal_abort_prob and self._steal_rng.random() < plan.steal_abort_prob:
+            self.stats.add("steal_abort")
+            self.tracer.fault("steal_abort", self.sim.now, thief_tid)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    def total_fired(self) -> int:
+        return sum(self.stats._counters.values())
+
+
+def make_injector(plan, config, n_cores: int, stats, sim,
+                  tracer=None) -> Optional[FaultInjector]:
+    """Build an injector for ``plan`` (accepts any ``FaultPlan.coerce`` form)."""
+    plan = FaultPlan.coerce(plan)
+    if plan is None or not plan.active:
+        return None
+    return FaultInjector(plan, config.seed, n_cores, stats, sim, tracer)

@@ -1,0 +1,170 @@
+"""Declarative fault plans: what to perturb, how hard, under which seed.
+
+A :class:`FaultPlan` is a frozen description of adversarial-but-legal
+timing perturbations.  Every fault a plan can express preserves the
+functional semantics of the simulated program:
+
+* **NoC jitter** — extra cycles on mesh messages (congested links).
+* **ULI delay** — extra wire latency on steal requests/acks (a slow
+  dedicated network).
+* **DRAM throttle** — periodic windows where DRAM service time is
+  multiplied (refresh storms, thermal throttling).
+* **Forced L1 evictions** — a random resident line is capacity-evicted
+  through the protocol's normal victim path (cache pressure from a
+  co-runner).  The eviction uses the same writeback/notice machinery a
+  real conflict miss would, so coherence is preserved exactly.
+* **Steal aborts** — a Chase-Lev thief gives up before its claiming CAS
+  (an adversarial scheduler losing every race).  The task stays in the
+  deque, so no work is lost.
+
+The first three are *timing-only*: they change when things happen but not
+what traffic exists, so end-state application memory must be identical to
+a fault-free run.  Forced evictions and steal aborts additionally change
+the traffic and stats (extra writebacks, extra steal attempts) while still
+never changing program results.
+
+Plans are plain data: hashable, JSON-able via :meth:`as_dict`, parseable
+from a CLI spec string via :meth:`parse`, and part of the harness memo
+key so faulted runs never collide with clean ones in the result store.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, declarative set of fault-injection knobs (all off by default)."""
+
+    #: Seed for the injector's private RNG streams (mixed with the machine
+    #: seed; never consumes ``machine.rng``, so context RNG streams are
+    #: identical with and without faults).
+    seed: int = 1
+
+    #: Probability that a mesh message picks up extra latency, and how much.
+    noc_jitter_prob: float = 0.0
+    noc_jitter_cycles: int = 8
+
+    #: Probability that a ULI request/ack is delayed, and by how much.
+    uli_delay_prob: float = 0.0
+    uli_delay_cycles: int = 16
+
+    #: Every ``period`` cycles, DRAM service time is multiplied by
+    #: ``factor`` for the first ``window`` cycles.  ``period == 0`` = off.
+    dram_throttle_period: int = 0
+    dram_throttle_window: int = 0
+    dram_throttle_factor: int = 4
+
+    #: Probability that an L1 line fill additionally force-evicts one
+    #: random unrelated resident line through the protocol victim path.
+    l1_evict_prob: float = 0.0
+
+    #: Probability that a Chase-Lev steal attempt aborts before its CAS.
+    steal_abort_prob: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """True when at least one fault site can fire."""
+        return (
+            self.noc_jitter_prob > 0.0
+            or self.uli_delay_prob > 0.0
+            or self.dram_throttle_period > 0
+            or self.l1_evict_prob > 0.0
+            or self.steal_abort_prob > 0.0
+        )
+
+    @property
+    def timing_only(self) -> bool:
+        """True when the plan only stretches latencies (no extra traffic).
+
+        Timing-only plans must leave end-state application memory — and
+        structural stats like tasks executed — identical to a fault-free
+        run; ``repro fuzz`` asserts exactly that.
+        """
+        return self.l1_evict_prob == 0.0 and self.steal_abort_prob == 0.0
+
+    # ------------------------------------------------------------------
+    # Construction / serialization
+    # ------------------------------------------------------------------
+    def replace(self, **changes) -> "FaultPlan":
+        return dataclasses.replace(self, **changes)
+
+    def as_dict(self) -> Dict[str, Union[int, float]]:
+        """Plain-dict form (JSON-able; used in memo/store keys)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def preset(cls, name: str, seed: int = 1) -> "FaultPlan":
+        """Named plans for the CLI and CI smoke jobs."""
+        if name in ("timing", "default"):
+            return cls(
+                seed=seed,
+                noc_jitter_prob=0.2,
+                noc_jitter_cycles=6,
+                uli_delay_prob=0.3,
+                uli_delay_cycles=12,
+                dram_throttle_period=512,
+                dram_throttle_window=64,
+                dram_throttle_factor=4,
+            )
+        if name == "full":
+            return cls.preset("timing", seed=seed).replace(
+                l1_evict_prob=0.02,
+                steal_abort_prob=0.25,
+            )
+        if name == "evict":
+            return cls(seed=seed, l1_evict_prob=0.05)
+        if name == "steal":
+            return cls(seed=seed, steal_abort_prob=0.5)
+        if name in ("none", "off"):
+            return cls(seed=seed)
+        raise ValueError(
+            f"unknown fault preset {name!r}; known: timing, full, evict, steal, none"
+        )
+
+    @classmethod
+    def parse(cls, spec: Optional[str]) -> Optional["FaultPlan"]:
+        """Parse a CLI spec: a preset name, optionally followed by overrides.
+
+        ``"timing"``, ``"full,seed=7"``, ``"seed=3,l1_evict_prob=0.1"`` —
+        a bare ``key=value`` list starts from the all-off plan.  ``None``,
+        ``""``, ``"none"`` and ``"off"`` mean no plan at all.
+        """
+        if not spec or spec in ("none", "off"):
+            return None
+        parts = [p.strip() for p in spec.split(",") if p.strip()]
+        if parts and "=" not in parts[0]:
+            plan = cls.preset(parts[0])
+            parts = parts[1:]
+        else:
+            plan = cls()
+        fields = {f.name: f.type for f in dataclasses.fields(cls)}
+        changes: Dict[str, Union[int, float]] = {}
+        for part in parts:
+            key, _, raw = part.partition("=")
+            key = key.strip()
+            if key not in fields:
+                raise ValueError(
+                    f"unknown fault knob {key!r}; known: {', '.join(sorted(fields))}"
+                )
+            changes[key] = float(raw) if "prob" in key else int(raw)
+        return plan.replace(**changes) if changes else plan
+
+    @classmethod
+    def coerce(
+        cls, value: Union[None, str, dict, "FaultPlan"]
+    ) -> Optional["FaultPlan"]:
+        """Normalize the harness-facing forms (None/str/dict/plan) to a plan."""
+        if value is None or isinstance(value, FaultPlan):
+            return value
+        if isinstance(value, str):
+            return cls.parse(value)
+        if isinstance(value, dict):
+            return cls(**value)
+        raise TypeError(f"cannot interpret fault plan from {type(value).__name__}")

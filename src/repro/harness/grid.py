@@ -31,12 +31,38 @@ from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional, Sequence
 
 import repro.harness.runner as runner
+from repro.engine.watchdog import DeadlockError
 from repro.harness import termlog
 from repro.harness.runner import ExperimentResult
+from repro.sanitize import SanitizerError
 
 
 class GridError(RuntimeError):
     """A grid point failed (or timed out) on every allowed attempt."""
+
+
+@dataclass
+class FailedResult:
+    """A grid point that did not produce a result (``on_error="record"``).
+
+    Occupies the failed point's slot in ``run_grid``'s output so a sweep
+    with one wedged configuration still returns every other cell.  The
+    ``error`` field is one of ``"deadlock"``, ``"violation"``,
+    ``"timeout"``, or ``"error"``; ``diagnostic`` carries the watchdog's
+    per-core dump (or the sanitizer's violation list) when available.
+    """
+
+    app: str
+    kind: str
+    scale: str
+    label: str
+    error: str
+    message: str
+    diagnostic: dict = field(default_factory=dict)
+    attempts: int = 1
+
+    #: Discriminator mirroring ExperimentResult duck-typing checks.
+    failed: bool = True
 
 
 @dataclass(frozen=True)
@@ -51,6 +77,9 @@ class GridPoint:
     app_overrides: Optional[dict] = None
     runtime_kwargs: Optional[dict] = None
     config_overrides: Optional[dict] = None
+    faults: Optional[object] = None
+    sanitize: bool = False
+    watchdog: Optional[int] = None
 
     def label(self) -> str:
         parts = [self.app, self.kind, self.scale]
@@ -62,6 +91,10 @@ class GridPoint:
             parts.append(f"rt={self.runtime_kwargs}")
         if self.config_overrides:
             parts.append(f"cfg={self.config_overrides}")
+        if self.faults is not None:
+            parts.append(f"faults={self.faults}")
+        if self.sanitize:
+            parts.append("sanitize")
         return " ".join(parts)
 
     def as_fields(self) -> dict:
@@ -79,6 +112,9 @@ class GridPoint:
             app_overrides=self.app_overrides,
             runtime_kwargs=self.runtime_kwargs,
             config_overrides=self.config_overrides,
+            faults=self.faults,
+            sanitize=self.sanitize,
+            watchdog=self.watchdog,
         )
 
 
@@ -161,6 +197,16 @@ def _worker_entry(conn, point_kwargs: dict, results_dir: Optional[str]) -> None:
         from repro.harness.export import result_to_dict
 
         conn.send(("ok", result_to_dict(result)))
+    except DeadlockError as exc:
+        try:
+            conn.send(("deadlock", {"message": str(exc), "diagnostic": exc.diagnostic}))
+        except Exception:
+            pass
+    except SanitizerError as exc:
+        try:
+            conn.send(("violation", {"message": str(exc), "violations": exc.violations}))
+        except Exception:
+            pass
     except BaseException as exc:  # report, never hang the parent
         import traceback
 
@@ -193,13 +239,40 @@ class _Running:
 # ----------------------------------------------------------------------
 # The grid driver
 # ----------------------------------------------------------------------
+def _classify_failure(exc: BaseException):
+    """(error kind, message, diagnostic dict) for a grid point failure."""
+    if isinstance(exc, DeadlockError):
+        return "deadlock", str(exc), exc.diagnostic
+    if isinstance(exc, SanitizerError):
+        return "violation", str(exc), {"violations": exc.violations}
+    return "error", f"{exc!r}", {}
+
+
+def _record_failure(
+    point: GridPoint, error: str, message: str, diagnostic: dict, attempts: int
+) -> FailedResult:
+    first_line = message.splitlines()[0] if message else error
+    termlog.alert(f"{error}: {point.label()}: {first_line}")
+    return FailedResult(
+        app=point.app,
+        kind=point.kind,
+        scale=point.scale,
+        label=point.label(),
+        error=error,
+        message=message,
+        diagnostic=diagnostic or {},
+        attempts=attempts,
+    )
+
+
 def run_grid(
     points: Sequence[GridPoint],
     jobs: Optional[int] = None,
     timeout: Optional[float] = None,
     retries: int = 1,
     progress: Optional[bool] = None,
-) -> List[ExperimentResult]:
+    on_error: str = "raise",
+):
     """Run every grid point; return results in input order.
 
     ``jobs > 1`` fans points out over a process pool; each run gets at most
@@ -208,7 +281,15 @@ def run_grid(
     raised.  All completed results are adopted into the in-process memo
     cache and the configured result store, so follow-up ``run_experiment``
     calls for the same points are free.
+
+    ``on_error="record"`` makes sweeps crash-tolerant: a point that
+    deadlocks, trips the sanitizer, times out, or errors yields a
+    :class:`FailedResult` in its slot (announced via ``termlog.alert``)
+    instead of aborting the whole grid.  Deadlocks and sanitizer
+    violations are deterministic, so they are never retried.
     """
+    if on_error not in ("raise", "record"):
+        raise ValueError(f"on_error must be 'raise' or 'record', got {on_error!r}")
     points = list(points)
     if jobs is None:
         jobs = default_jobs()
@@ -218,10 +299,18 @@ def run_grid(
     if jobs <= 1 or len(points) == 1:
         results = []
         for point in points:
-            results.append(runner.run_experiment(**point.run_kwargs()))
+            try:
+                results.append(runner.run_experiment(**point.run_kwargs()))
+            except Exception as exc:
+                if on_error != "record":
+                    raise
+                error, message, diagnostic = _classify_failure(exc)
+                results.append(
+                    _record_failure(point, error, message, diagnostic, attempts=1)
+                )
             meter.step(point.label())
         return results
-    return _run_parallel(points, jobs, timeout, retries, meter)
+    return _run_parallel(points, jobs, timeout, retries, meter, on_error)
 
 
 def _run_parallel(
@@ -230,6 +319,7 @@ def _run_parallel(
     timeout: Optional[float],
     retries: int,
     meter: _Progress,
+    on_error: str = "raise",
 ) -> List[ExperimentResult]:
     from repro.harness.export import result_from_dict
 
@@ -259,15 +349,28 @@ def _run_parallel(
             slot.proc.terminate()
         slot.proc.join()
 
-    def fail(idx: int, reason: str) -> None:
+    def fail(
+        idx: int,
+        reason: str,
+        error: str = "error",
+        diagnostic: Optional[dict] = None,
+        retryable: bool = True,
+    ) -> None:
         slot = running[idx]
         reap(idx)
-        if slot.attempt <= retries:
+        # Deadlocks and sanitizer violations are deterministic functions
+        # of the grid point: a retry would only reproduce them.
+        if retryable and slot.attempt <= retries:
             meter.note(
                 f"retrying {slot.point.label()} "
                 f"(attempt {slot.attempt + 1}): {reason.splitlines()[0]}"
             )
             spawn(idx, slot.point, slot.attempt + 1)
+        elif on_error == "record":
+            results[idx] = _record_failure(
+                slot.point, error, reason, diagnostic or {}, slot.attempt
+            )
+            meter.step(slot.point.label())
         else:
             for other in list(running):
                 reap(other)
@@ -300,9 +403,23 @@ def _run_parallel(
                             app_overrides=slot.point.app_overrides,
                             runtime_kwargs=slot.point.runtime_kwargs,
                             config_overrides=slot.point.config_overrides,
+                            faults=slot.point.faults,
+                            sanitize=slot.point.sanitize,
+                            watchdog=slot.point.watchdog,
                         )
                         results[idx] = result
                         meter.step(slot.point.label())
+                    elif status == "deadlock":
+                        fail(
+                            idx, payload["message"], error="deadlock",
+                            diagnostic=payload.get("diagnostic"), retryable=False,
+                        )
+                    elif status == "violation":
+                        fail(
+                            idx, payload["message"], error="violation",
+                            diagnostic={"violations": payload.get("violations", [])},
+                            retryable=False,
+                        )
                     else:
                         fail(idx, payload)
                 elif not slot.proc.is_alive():
@@ -310,7 +427,7 @@ def _run_parallel(
                     fail(idx, f"worker exited with code {slot.proc.exitcode}")
                 elif slot.deadline is not None and time.monotonic() > slot.deadline:
                     made_progress = True
-                    fail(idx, f"timed out after {timeout}s")
+                    fail(idx, f"timed out after {timeout}s", error="timeout")
             if not made_progress:
                 time.sleep(0.02)
     finally:

@@ -109,6 +109,14 @@ APP_PARAMS: Dict[str, Dict[str, dict]] = {
         "paper": dict(n=384, passes=500, grain=96),
         "large": dict(n=384, passes=1000, grain=96),
     },
+    # Deliberately wedged kernel (watchdog / crash-tolerant sweep tests);
+    # takes no parameters at any scale.
+    "kernel-deadlock": {
+        "tiny": dict(),
+        "quick": dict(),
+        "paper": dict(),
+        "large": dict(),
+    },
 }
 
 #: Table V uses this subset of kernels at larger inputs (paper Section VI-D).

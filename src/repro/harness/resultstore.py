@@ -34,7 +34,8 @@ from pathlib import Path
 from typing import Optional
 
 #: Schema/version tag mixed into every key; bump to invalidate old stores.
-STORE_SCHEMA = 1
+#: 2: keys gained the "robustness" block (fault plan / sanitizer / watchdog).
+STORE_SCHEMA = 2
 
 
 def hash_key(key: dict) -> str:

@@ -24,6 +24,7 @@ from repro.analysis.energy import EnergyReport, estimate_energy
 from repro.apps import make_app
 from repro.config import make_config
 from repro.core import WorkStealingRuntime
+from repro.faults import FaultPlan
 from repro.harness.params import app_params
 from repro.harness.resultstore import STORE_SCHEMA, ResultStore
 from repro.machine import Machine
@@ -128,6 +129,24 @@ def canonicalize(value):
     return value
 
 
+def _robustness_dict(
+    faults: Optional[FaultPlan], sanitize: bool, watchdog: Optional[int]
+) -> dict:
+    """Canonical description of the fault/sanitizer/watchdog setup.
+
+    Part of both the memo key and the persistent store key: a faulted or
+    sanitized run must never satisfy a cache probe for a clean one (or
+    vice versa).  The watchdog participates too — it cannot change a
+    *successful* run's numbers, but a result produced under a different
+    deadlock policy is a different experiment.
+    """
+    return {
+        "faults": faults.as_dict() if faults is not None else None,
+        "sanitize": bool(sanitize),
+        "watchdog": watchdog,
+    }
+
+
 def memo_key(
     app_name: str,
     kind: str,
@@ -136,6 +155,9 @@ def memo_key(
     app_overrides: Optional[dict] = None,
     runtime_kwargs: Optional[dict] = None,
     config_overrides: Optional[dict] = None,
+    faults: Optional[FaultPlan] = None,
+    sanitize: bool = False,
+    watchdog: Optional[int] = None,
 ) -> Tuple:
     """The in-process memo key for one experiment (always hashable)."""
     return (
@@ -146,6 +168,7 @@ def memo_key(
         canonicalize(app_overrides or {}),
         canonicalize(runtime_kwargs or {}),
         canonicalize(config_overrides or {}),
+        canonicalize(_robustness_dict(faults, sanitize, watchdog)),
     )
 
 
@@ -157,6 +180,9 @@ def _experiment_store_key(
     app_overrides: Optional[dict],
     runtime_kwargs: Optional[dict],
     config_overrides: Optional[dict],
+    faults: Optional[FaultPlan] = None,
+    sanitize: bool = False,
+    watchdog: Optional[int] = None,
 ) -> dict:
     """The persistent store key: resolved params + config + code version.
 
@@ -176,6 +202,7 @@ def _experiment_store_key(
             "app_params": app_params(app_name, scale, **(app_overrides or {})),
             "runtime_kwargs": runtime_kwargs or {},
             "config": dataclasses.asdict(config),
+            "robustness": _robustness_dict(faults, sanitize, watchdog),
         },
     }
 
@@ -204,6 +231,9 @@ def run_experiment(
     config_overrides: Optional[dict] = None,
     tracer=None,
     sample_interval: Optional[int] = None,
+    faults=None,
+    sanitize: bool = False,
+    watchdog: Optional[int] = None,
 ) -> ExperimentResult:
     """Simulate ``app_name`` on configuration ``kind`` at ``scale``.
 
@@ -213,12 +243,22 @@ def run_experiment(
     simulate — the memo cache and the on-disk result store are bypassed,
     since a cached result carries no events — but the *result* is
     identical either way: tracing never perturbs simulated timing.
+
+    ``faults`` (a :class:`repro.faults.FaultPlan`, preset name, or spec
+    string), ``sanitize``, and ``watchdog`` (a grace in cycles) configure
+    the robustness subsystem; all three participate in the memo and store
+    keys.  A sanitized run raises :class:`repro.sanitize.SanitizerError`
+    on any invariant violation; a watchdogged run raises
+    :class:`repro.engine.DeadlockError` with a per-core diagnostic instead
+    of grinding to ``max_cycles``.
     """
+    faults = FaultPlan.coerce(faults)
     traced = tracer is not None or sample_interval is not None
     if traced:
         use_cache = False
     key = memo_key(
-        app_name, kind, scale, serial, app_overrides, runtime_kwargs, config_overrides
+        app_name, kind, scale, serial, app_overrides, runtime_kwargs,
+        config_overrides, faults, sanitize, watchdog,
     )
     if use_cache and key in _CACHE:
         return _CACHE[key]
@@ -229,6 +269,7 @@ def run_experiment(
         store_key = _experiment_store_key(
             app_name, kind, scale, serial,
             app_overrides, runtime_kwargs, config_overrides,
+            faults, sanitize, watchdog,
         )
         payload = store.load(store_key)
         if payload is not None:
@@ -242,13 +283,20 @@ def run_experiment(
     _SIM_COUNT += 1
     params = app_params(app_name, scale, **(app_overrides or {}))
     app = make_app(app_name, **params)
-    machine = Machine(make_config(kind, scale, **(config_overrides or {})), tracer=tracer)
+    machine = Machine(
+        make_config(kind, scale, **(config_overrides or {})),
+        tracer=tracer,
+        faults=faults,
+        sanitize=sanitize,
+    )
     app.setup(machine)
     rt_kwargs = dict(runtime_kwargs or {})
     if serial:
         # Table III "serial IO" baseline: the serial elision of the same
         # program (same grain, no runtime bookkeeping).
         rt_kwargs["serial_elision"] = True
+    if watchdog is not None:
+        rt_kwargs["watchdog"] = watchdog
     runtime = WorkStealingRuntime(machine, **rt_kwargs)
     sampler = None
     if sample_interval is not None:
@@ -277,6 +325,9 @@ def run_experiment(
             cycles=cycles, sample_interval=sample_interval,
         )
         tracer.finish(machine.sim.now)
+    if machine.sanitizer is not None:
+        # Raises SanitizerError before any (less diagnostic) check failure.
+        machine.sanitizer.finish(runtime)
     if check:
         app.check()
 
@@ -314,6 +365,10 @@ def run_experiment(
             uli_stats.get("total_latency") / uli_messages if uli_messages else 0.0
         ),
     )
+    if machine.fault_injector is not None:
+        result.extras["faults_fired"] = machine.fault_injector.total_fired()
+    if machine.sanitizer is not None:
+        result.extras["sanitizer_walks"] = machine.sanitizer.stats.get("walks")
     if use_cache:
         _CACHE[key] = result
     if store is not None:
@@ -328,12 +383,17 @@ def adopt_result(
     app_overrides: Optional[dict] = None,
     runtime_kwargs: Optional[dict] = None,
     config_overrides: Optional[dict] = None,
+    faults=None,
+    sanitize: bool = False,
+    watchdog: Optional[int] = None,
 ) -> None:
     """Insert an externally computed result (e.g. from a grid worker) into
     the in-process memo cache and, when configured, the result store."""
+    faults = FaultPlan.coerce(faults)
     key = memo_key(
         result.app, result.kind, result.scale, result.serial,
         app_overrides, runtime_kwargs, config_overrides,
+        faults, sanitize, watchdog,
     )
     _CACHE[key] = result
     store = get_result_store()
@@ -341,6 +401,7 @@ def adopt_result(
         store_key = _experiment_store_key(
             result.app, result.kind, result.scale, result.serial,
             app_overrides, runtime_kwargs, config_overrides,
+            faults, sanitize, watchdog,
         )
         if not store.contains(store_key):
             from repro.harness.export import result_to_dict

@@ -59,6 +59,21 @@ def log(message: str, level: int = 1) -> None:
     sys.stderr.flush()
 
 
+def alert(message: str) -> None:
+    """Emit a high-visibility line for watchdog/sanitizer findings.
+
+    Alerts carry a distinct ``!!`` prefix so deadlock diagnostics and
+    invariant violations stand out from routine telemetry, and they print
+    even at ``REPRO_VERBOSE=0``: a sweep that silently swallowed a
+    deadlock would defeat the point of recording it.
+    """
+    global _status_active
+    prefix = "\n" if _status_active else ""
+    _status_active = False
+    sys.stderr.write(f"{prefix}!! {message}\n")
+    sys.stderr.flush()
+
+
 def status(message: str) -> None:
     """Draw/overwrite the single in-place status line (no newline)."""
     global _status_active

@@ -35,7 +35,7 @@ from repro.trace.tracer import NULL_TRACER
 class Machine:
     """A fully wired simulated big.TINY (or pure-big) system."""
 
-    def __init__(self, config: SystemConfig, tracer=None):
+    def __init__(self, config: SystemConfig, tracer=None, faults=None, sanitize=False):
         config.validate()
         self.config = config
         self.sim = Simulator(max_cycles=config.max_cycles)
@@ -43,6 +43,20 @@ class Machine:
         self.rng = XorShift64(config.seed)
         #: Event tracer (repro.trace): NULL_TRACER unless a run is traced.
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Fault injector (repro.faults): None unless a FaultPlan is active.
+        #: Uses a private RNG so machine.rng streams (and thus unfaulted
+        #: timing) are untouched; wired into components below.
+        from repro.faults import FaultPlan, make_injector
+
+        self.fault_plan = FaultPlan.coerce(faults)
+        self.fault_injector = make_injector(
+            self.fault_plan,
+            config,
+            config.n_cores,
+            self.stats,
+            self.sim,
+            self.tracer,
+        )
 
         self.memory = MainMemory()
         self.address_space = AddressSpace()
@@ -51,6 +65,9 @@ class Machine:
         self.uli_network = UliNetwork(
             self.mesh, self.stats, sim=self.sim, tracer=self.tracer
         )
+        if self.fault_injector is not None:
+            self.mesh.fault_injector = self.fault_injector
+            self.uli_network.fault_injector = self.fault_injector
 
         per_mc_bandwidth = config.dram_total_bytes_per_cycle / config.n_l2_banks
         dram = [
@@ -64,6 +81,8 @@ class Machine:
         ]
         for controller in dram:
             controller.tracer = self.tracer
+            if self.fault_injector is not None:
+                controller.fault_injector = self.fault_injector
         self.l2 = SharedL2(
             mesh=self.mesh,
             memory=self.memory,
@@ -84,6 +103,8 @@ class Machine:
                 core_id, self.l2, self.stats, params.size_bytes, params.assoc
             )
             l1.tracer = self.tracer
+            if self.fault_injector is not None:
+                l1.fault_injector = self.fault_injector
             is_big = config.is_big_core(core_id)
             core = Core(
                 core_id=core_id,
@@ -103,6 +124,14 @@ class Machine:
             self.cores.append(core)
         for core in self.cores:
             core.attach_peers(self.cores)
+
+        #: Invariant checker (repro.sanitize): None unless requested.
+        self.sanitizer = None
+        if sanitize:
+            from repro.sanitize import Sanitizer
+
+            self.sanitizer = Sanitizer(self)
+            self.sanitizer.install()
 
     # ------------------------------------------------------------------
     # Thread contexts
@@ -135,6 +164,21 @@ class Machine:
 
     def host_read_array(self, base: int, n_words: int) -> List[int]:
         return [self.host_read_word(base + i * WORD_BYTES) for i in range(n_words)]
+
+    def memory_digest(self, regions) -> str:
+        """sha256 over the coherent view of ``regions`` (fuzz end-state check).
+
+        Timing-only fault plans must leave this digest — taken over the
+        application's own allocations — byte-identical to a fault-free run.
+        """
+        import hashlib
+
+        h = hashlib.sha256()
+        for region in regions:
+            h.update(region.name.encode())
+            for word in self.host_read_array(region.base, region.size // WORD_BYTES):
+                h.update((word & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little"))
+        return h.hexdigest()
 
     @staticmethod
     def _word_idx(addr: int) -> int:

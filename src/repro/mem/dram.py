@@ -22,6 +22,10 @@ class DramController:
     #: Event tracer; replaced per-machine when tracing is enabled.
     tracer = NULL_TRACER
 
+    #: Fault-injection hook (repro.faults); the machine sets it on its
+    #: instances when a plan with DRAM throttle windows is active.
+    fault_injector = None
+
     def __init__(
         self,
         controller_id: int,
@@ -38,6 +42,8 @@ class DramController:
     def access(self, now: int, n_bytes: int) -> int:
         """Issue an access at cycle ``now``; return its total latency."""
         service = max(1, math.ceil(n_bytes / self.bytes_per_cycle))
+        if self.fault_injector is not None:
+            service = self.fault_injector.dram_service(now, service)
         start = max(now, self.busy_until)
         self.busy_until = start + service
         completion = start + service + self.access_latency

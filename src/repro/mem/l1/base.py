@@ -28,6 +28,10 @@ class L1Cache:
     #: Event tracer (repro.trace); replaced per-machine when tracing is on.
     tracer = NULL_TRACER
 
+    #: Fault-injection hook (repro.faults); the machine sets it on its
+    #: instances when a plan with forced evictions is active.
+    fault_injector = None
+
     #: Table I taxonomy, overridden per protocol.
     PROTOCOL = "base"
     INVALIDATION = "none"  # "writer" | "reader"
@@ -109,6 +113,44 @@ class L1Cache:
         copy stays resident (downgrade) or the line was dropped.
         """
         return None, 0, False
+
+    # ------------------------------------------------------------------
+    # Line insertion / eviction
+    # ------------------------------------------------------------------
+    def _insert(self, line: CacheLine, now: int) -> None:
+        """Insert a filled line, evicting through the protocol victim path."""
+        victim = self.tags.insert(line)
+        if victim is not None:
+            self.stats.add("evictions")
+            self._evict_victim(victim, now)
+        fi = self.fault_injector
+        if fi is not None and fi.l1_evict_fires(self.core_id):
+            self.force_capacity_eviction(now, exclude=line.addr)
+
+    def _evict_victim(self, victim: CacheLine, now: int) -> None:
+        """Protocol-specific victim handling (writeback/notice/silent drop)."""
+        raise NotImplementedError
+
+    def force_capacity_eviction(self, now: int, exclude: Optional[int] = None) -> bool:
+        """Evict one resident line through the normal victim path.
+
+        Used by fault injection to model external cache pressure.  The
+        line named by ``exclude`` (typically one just inserted, which the
+        caller is still mutating) is never chosen.  Returns whether a
+        victim existed.
+        """
+        candidates = [ln for ln in self.tags.lines() if ln.addr != exclude]
+        if not candidates:
+            return False
+        if self.fault_injector is not None:
+            victim = self.fault_injector.l1_pick_victim(self.core_id, candidates)
+        else:
+            victim = candidates[0]
+        self.tags.remove(victim.addr)
+        self.stats.add("evictions")
+        self.stats.add("forced_evictions")
+        self._evict_victim(victim, now)
+        return True
 
     # ------------------------------------------------------------------
     # Store buffer

@@ -130,11 +130,7 @@ class DeNovoL1(L1Cache):
         self.stats.add("recalls")
         return words, dirty, True
 
-    def _insert(self, line: CacheLine, now: int) -> None:
-        victim = self.tags.insert(line)
-        if victim is None:
-            return
-        self.stats.add("evictions")
+    def _evict_victim(self, victim: CacheLine, now: int) -> None:
         if victim.state == REGISTERED:
             self.l2.writeback_line(
                 self.core_id, victim.addr, victim.data,

@@ -148,11 +148,7 @@ class GpuWbL1(L1Cache):
     # ------------------------------------------------------------------
     # Eviction
     # ------------------------------------------------------------------
-    def _insert(self, line: CacheLine, now: int) -> None:
-        victim = self.tags.insert(line)
-        if victim is None:
-            return
-        self.stats.add("evictions")
+    def _evict_victim(self, victim: CacheLine, now: int) -> None:
         if victim.dirty_mask:
             self.l2.writeback_line(
                 self.core_id, victim.addr, victim.data, victim.dirty_mask,

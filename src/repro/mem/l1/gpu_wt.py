@@ -118,7 +118,6 @@ class GpuWtL1(L1Cache):
         self._write_buffer.clear()
         return max(0, last - now)
 
-    def _insert(self, line: CacheLine, now: int) -> None:
+    def _evict_victim(self, victim: CacheLine, now: int) -> None:
         # All resident lines are clean; evictions are silent.
-        if self.tags.insert(line) is not None:
-            self.stats.add("evictions")
+        pass

@@ -113,11 +113,7 @@ class MesiL1(L1Cache):
         self.stats.add("recalls")
         return words, dirty, True
 
-    def _insert(self, line: CacheLine, now: int) -> None:
-        victim = self.tags.insert(line)
-        if victim is None:
-            return
-        self.stats.add("evictions")
+    def _evict_victim(self, victim: CacheLine, now: int) -> None:
         if victim.state == MODIFIED and victim.dirty_mask:
             self.l2.writeback_line(
                 self.core_id, victim.addr, victim.data, victim.dirty_mask or FULL_MASK,

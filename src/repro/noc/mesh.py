@@ -33,6 +33,11 @@ class MeshConfig:
 class Mesh:
     """Mesh geometry, hop counts, and message latency."""
 
+    #: Fault-injection hook (repro.faults); the machine replaces this on
+    #: its instance when a plan is active, so the default path pays one
+    #: ``is not None`` branch per message.
+    fault_injector = None
+
     def __init__(self, config: MeshConfig):
         self.config = config
         self.rows = config.rows
@@ -77,7 +82,10 @@ class Mesh:
         per_hop = cfg.router_latency + cfg.channel_latency
         flits = max(1, math.ceil(n_bytes / cfg.flit_bytes))
         # Head flit pays per-hop latency; body flits pipeline behind it.
-        return hop_count * per_hop + (flits - 1)
+        latency = hop_count * per_hop + (flits - 1)
+        if self.fault_injector is not None:
+            latency += self.fault_injector.noc_extra()
+        return latency
 
     @property
     def n_links(self) -> int:

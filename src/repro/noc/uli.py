@@ -24,6 +24,10 @@ ULI_MESSAGE_BYTES = 8
 class UliNetwork:
     """Dedicated request/response mesh for user-level interrupts."""
 
+    #: Fault-injection hook (repro.faults), set by the machine when a
+    #: plan with ULI delays is active.
+    fault_injector = None
+
     def __init__(self, mesh: Mesh, stats: StatGroup, sim=None, tracer=NULL_TRACER):
         self.mesh = mesh
         self.stats = stats.child("uli_network")
@@ -36,6 +40,8 @@ class UliNetwork:
         a = self.mesh.core_position(src_core)
         b = self.mesh.core_position(dst_core)
         latency = self.mesh.latency(a, b, ULI_MESSAGE_BYTES)
+        if self.fault_injector is not None:
+            latency += self.fault_injector.uli_extra(src_core, dst_core)
         hops = self.mesh.hops(a, b)
         self.stats.add("messages")
         self.stats.add("total_hops", hops)

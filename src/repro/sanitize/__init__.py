@@ -1,0 +1,5 @@
+"""Coherence/runtime invariant sanitizer (opt-in, zero overhead when off)."""
+
+from repro.sanitize.checker import Sanitizer, SanitizerError
+
+__all__ = ["Sanitizer", "SanitizerError"]

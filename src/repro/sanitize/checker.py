@@ -1,0 +1,287 @@
+"""Opt-in coherence/runtime invariant checker (`repro.sanitize`).
+
+The sanitizer is the machine-checked version of the coherence arguments
+the paper's runtimes rely on.  It watches a running
+:class:`~repro.machine.Machine` from two vantage points:
+
+**Access hooks.**  ``install()`` wraps each L1's ``load``/``store``/
+``amo``/``flush_all`` as *instance* attributes (shadowing the class
+methods), so an un-sanitized machine pays nothing — not even a branch.
+The hooks drive a *flush-discipline race detector* for HCC runtimes: a
+store on a ``NEEDS_FLUSH`` protocol (GPU-WB) marks its word *unpublished*
+until the writer flushes (or AMOs the word, which GPU-WB publishes
+first).  Any other core that loads or AMOs an unpublished word raced a
+write that is not yet globally visible — exactly the bug class a
+forgotten ``cache_flush`` around a stolen task produces.  The
+deliberately-broken ``break_coherence="no-thief-flush"`` runtime variant
+exists as the positive control for this detector.  Evictions of dirty
+lines do *not* publish their words here: the discipline requires an
+explicit flush, and a correctly-synchronized program never reads a racing
+word either way, so the conservative rule cannot false-positive.
+
+**SWMR walks.**  A periodic simulator *daemon* event (plus a final walk
+in ``finish()``) cross-checks every L1 tag array against the L2
+directory: at most one owned (M/E/R) copy of a line system-wide, owned
+copies match ``directory_entry().owner`` in both directions, MESI sharers
+lists match resident SHARED copies, and untracked clean (V) lines carry
+no dirty words unless the protocol is write-back (GPU-WB).  Daemon events
+never perturb the simulated outcome (see ``repro.engine.simulator``), so
+a sanitized run's cycle counts equal an unsanitized run's.
+
+**Conservation.**  ``finish(runtime)`` additionally checks end-of-run
+accounting: every spawned task executed exactly once, all deques are
+empty, and no core still has ULI business pending.
+
+Violations accumulate in :attr:`Sanitizer.violations` (each a JSON-able
+dict); ``finish()`` raises :class:`SanitizerError` if any were found.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.engine.simulator import SimulationError
+from repro.mem.address import word_addr
+from repro.mem.cacheline import EXCLUSIVE, MODIFIED, REGISTERED, SHARED
+
+#: L1 states that claim ownership of a line (single-writer states).
+_OWNED_STATES = (MODIFIED, EXCLUSIVE, REGISTERED)
+
+
+class SanitizerError(SimulationError):
+    """One or more invariant violations were detected; see ``violations``."""
+
+    def __init__(self, message: str, violations: Optional[List[dict]] = None):
+        super().__init__(message)
+        self.violations = violations or []
+
+    def __reduce__(self):
+        return (self.__class__, (self.args[0], self.violations))
+
+
+class Sanitizer:
+    """Invariant checker for one machine; create via ``Machine(sanitize=True)``."""
+
+    def __init__(self, machine, interval: int = 4096, max_violations: int = 64):
+        self.machine = machine
+        #: Cycles between periodic SWMR walks (daemon events).
+        self.interval = interval
+        #: Stop recording (but keep checking cheaply) beyond this many.
+        self.max_violations = max_violations
+        #: JSON-able violation records, in detection order.
+        self.violations: List[dict] = []
+        self.stats = machine.stats.child("sanitizer")
+        # word addr -> writer core id for words stored on a NEEDS_FLUSH
+        # protocol and not yet made globally visible; the per-core index
+        # makes flush_all O(dirty words of that core).
+        self._unpublished: Dict[int, int] = {}
+        self._by_core: Dict[int, Set[int]] = {}
+        self._installed = False
+
+    # ------------------------------------------------------------------
+    # Installation
+    # ------------------------------------------------------------------
+    def install(self) -> None:
+        """Wrap L1 hooks and arm the periodic SWMR walk daemon."""
+        if self._installed:
+            return
+        self._installed = True
+        for l1 in self.machine.l1s:
+            self._wrap_l1(l1)
+        self.machine.sim.schedule(self.interval, self._walk_tick, daemon=True)
+
+    def _wrap_l1(self, l1) -> None:
+        core_id = l1.core_id
+        needs_flush = l1.NEEDS_FLUSH
+        real_load, real_store = l1.load, l1.store
+        real_amo, real_flush = l1.amo, l1.flush_all
+
+        def load(addr, now):
+            writer = self._unpublished.get(word_addr(addr))
+            if writer is not None and writer != core_id:
+                self._violation(
+                    "unflushed-read",
+                    f"core {core_id} loads {addr:#x} written by core {writer} "
+                    "without an intervening flush",
+                    addr=addr, reader=core_id, writer=writer,
+                )
+            return real_load(addr, now)
+
+        def store(addr, value, now):
+            word = word_addr(addr)
+            writer = self._unpublished.get(word)
+            if writer is not None and writer != core_id:
+                self._violation(
+                    "unflushed-overwrite",
+                    f"core {core_id} stores to {addr:#x} while core {writer}'s "
+                    "write is still unpublished",
+                    addr=addr, reader=core_id, writer=writer,
+                )
+            if needs_flush:
+                self._unpublished[word] = core_id
+                self._by_core.setdefault(core_id, set()).add(word)
+            return real_store(addr, value, now)
+
+        def amo(op, addr, operand, now):
+            word = word_addr(addr)
+            writer = self._unpublished.get(word)
+            if writer is not None:
+                if writer != core_id:
+                    self._violation(
+                        "unflushed-amo",
+                        f"core {core_id} AMOs {addr:#x} while core {writer}'s "
+                        "write is still unpublished",
+                        addr=addr, reader=core_id, writer=writer,
+                    )
+                # The AMO is performed at a coherence point (and GPU-WB
+                # flushes its own dirty word first): the word is published.
+                del self._unpublished[word]
+                self._by_core.get(writer, set()).discard(word)
+            return real_amo(op, addr, operand, now)
+
+        def flush_all(now):
+            published = self._by_core.get(core_id)
+            if published:
+                for word in published:
+                    if self._unpublished.get(word) == core_id:
+                        del self._unpublished[word]
+                published.clear()
+            return real_flush(now)
+
+        l1.load, l1.store, l1.amo, l1.flush_all = load, store, amo, flush_all
+
+    # ------------------------------------------------------------------
+    # SWMR directory cross-check
+    # ------------------------------------------------------------------
+    def _walk_tick(self) -> None:
+        self.check_now()
+        self.machine.sim.schedule(self.interval, self._walk_tick, daemon=True)
+
+    def check_now(self) -> int:
+        """One full SWMR walk; returns the number of new violations."""
+        self.stats.add("walks")
+        before = len(self.violations)
+        machine = self.machine
+        l2 = machine.l2
+        owners_seen: Dict[int, int] = {}
+        for l1 in machine.l1s:
+            core_id = l1.core_id
+            for line in l1.tags.lines():
+                state = line.state
+                if state in _OWNED_STATES:
+                    other = owners_seen.get(line.addr)
+                    if other is not None:
+                        self._violation(
+                            "multiple-owners",
+                            f"line {line.addr:#x} owned by cores {other} and "
+                            f"{core_id} simultaneously",
+                            addr=line.addr, cores=[other, core_id],
+                        )
+                    owners_seen[line.addr] = core_id
+                    entry = l2.directory_entry(line.addr)
+                    dir_owner = entry.owner if entry is not None else None
+                    if dir_owner != core_id:
+                        self._violation(
+                            "directory-owner-mismatch",
+                            f"core {core_id} holds {line.addr:#x} in "
+                            f"{state} but the directory owner is {dir_owner}",
+                            addr=line.addr, core=core_id, directory_owner=dir_owner,
+                        )
+                elif state == SHARED:
+                    if line.dirty_mask:
+                        self._violation(
+                            "dirty-shared-line",
+                            f"core {core_id} holds {line.addr:#x} SHARED "
+                            f"with dirty words (mask {line.dirty_mask:#x})",
+                            addr=line.addr, core=core_id,
+                        )
+                    entry = l2.directory_entry(line.addr)
+                    if entry is None or core_id not in entry.sharers:
+                        self._violation(
+                            "untracked-sharer",
+                            f"core {core_id} holds {line.addr:#x} SHARED but "
+                            "is missing from the directory sharer list",
+                            addr=line.addr, core=core_id,
+                        )
+                elif line.dirty_mask and not l1.NEEDS_FLUSH:
+                    # V lines must be clean except under write-back GPU-WB,
+                    # whose dirty words await an explicit flush.
+                    self._violation(
+                        "dirty-unowned-line",
+                        f"core {core_id} ({l1.PROTOCOL}) holds dirty words in "
+                        f"unowned line {line.addr:#x}",
+                        addr=line.addr, core=core_id,
+                    )
+        # Inverse direction: directory claims must be backed by L1 state.
+        for bank in l2.banks:
+            for entry in bank.tags.lines():
+                if entry.owner is not None:
+                    line = machine.l1s[entry.owner].resident(entry.addr)
+                    if line is None or line.state not in _OWNED_STATES:
+                        self._violation(
+                            "stale-directory-owner",
+                            f"directory says core {entry.owner} owns "
+                            f"{entry.addr:#x} but its L1 holds "
+                            f"{line.state if line else 'nothing'}",
+                            addr=entry.addr, core=entry.owner,
+                        )
+                for sharer in sorted(entry.sharers):
+                    line = machine.l1s[sharer].resident(entry.addr)
+                    if line is None or line.state != SHARED:
+                        self._violation(
+                            "stale-directory-sharer",
+                            f"directory lists core {sharer} as a sharer of "
+                            f"{entry.addr:#x} but its L1 holds "
+                            f"{line.state if line else 'nothing'}",
+                            addr=entry.addr, core=sharer,
+                        )
+        return len(self.violations) - before
+
+    # ------------------------------------------------------------------
+    # End-of-run conservation checks
+    # ------------------------------------------------------------------
+    def finish(self, runtime=None, strict: bool = True) -> List[dict]:
+        """Final walk + conservation checks; raises SanitizerError if strict."""
+        self.check_now()
+        if runtime is not None and not runtime.serial_elision and runtime.done:
+            spawns = runtime.stats.get("spawns")
+            executed = runtime.stats.get("tasks_executed")
+            if executed != spawns + 1:  # +1: the root task is not a spawn
+                self._violation(
+                    "task-conservation",
+                    f"{spawns} spawns + root but {executed} task executions",
+                    spawns=spawns, executed=executed,
+                )
+            machine = self.machine
+            for tid, dq in enumerate(runtime.deques):
+                head = machine.host_read_word(dq.head_addr)
+                tail = machine.host_read_word(dq.tail_addr)
+                if head != tail:
+                    self._violation(
+                        "deque-not-drained",
+                        f"deque {tid} ends with head={head} tail={tail}",
+                        tid=tid, head=head, tail=tail,
+                    )
+            for core in machine.cores:
+                if core._pending_uli is not None or core._in_handler or core._uli_waiting:
+                    self._violation(
+                        "pending-uli",
+                        f"core {core.core_id} ends with ULI business pending",
+                        core=core.core_id,
+                    )
+        if strict and self.violations:
+            raise SanitizerError(
+                f"{len(self.violations)} invariant violation(s); "
+                f"first: {self.violations[0]['message']}",
+                self.violations,
+            )
+        return self.violations
+
+    # ------------------------------------------------------------------
+    def _violation(self, kind: str, message: str, **details) -> None:
+        self.stats.add("violations")
+        self.stats.add(f"violations_{kind}")
+        if len(self.violations) < self.max_violations:
+            record = {"kind": kind, "cycle": self.machine.sim.now, "message": message}
+            record.update(details)
+            self.violations.append(record)

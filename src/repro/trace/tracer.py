@@ -95,6 +95,10 @@ class NullTracer:
     def dram_sample(self, controller_id: int, cycle: int, queue_cycles: int) -> None:
         pass
 
+    # -- fault injection -----------------------------------------------
+    def fault(self, site: str, cycle: int, detail: int) -> None:
+        pass
+
     # -- interval sampling ---------------------------------------------
     def counter_sample(self, cycle: int, deltas: Dict[str, float]) -> None:
         pass
@@ -127,6 +131,8 @@ class Tracer(NullTracer):
         self.mem_bursts: List[Tuple[int, int, str, int, int]] = []
         #: (controller_id, cycle, queue_cycles) DRAM queueing samples.
         self.dram_samples: List[Tuple[int, int, int]] = []
+        #: (site, cycle, detail) injected faults (repro.faults).
+        self.faults: List[Tuple[str, int, int]] = []
         #: (cycle, {stat: delta}) interval-sampler output.
         self.samples: List[Tuple[int, Dict[str, float]]] = []
         #: Experiment metadata set by the harness (app, kind, scale, ...).
@@ -205,6 +211,9 @@ class Tracer(NullTracer):
     def dram_sample(self, controller_id, cycle, queue_cycles) -> None:
         self.dram_samples.append((controller_id, cycle, queue_cycles))
 
+    def fault(self, site, cycle, detail) -> None:
+        self.faults.append((site, cycle, detail))
+
     def counter_sample(self, cycle, deltas) -> None:
         self.samples.append((cycle, deltas))
 
@@ -248,5 +257,6 @@ class Tracer(NullTracer):
             + len(self.uli_messages)
             + len(self.mem_bursts)
             + len(self.dram_samples)
+            + len(self.faults)
             + len(self.samples)
         )

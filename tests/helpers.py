@@ -20,9 +20,13 @@ ALL_BIGTINY = (
 VARIANT_KINDS = ("bt-mesi", "bt-hcc-gwb", "bt-hcc-dts-gwb")
 
 
-def tiny_machine(kind: str = "bt-mesi", **overrides) -> Machine:
+def tiny_machine(
+    kind: str = "bt-mesi", faults=None, sanitize: bool = False, **overrides
+) -> Machine:
     """A 4-core (1 big + 3 tiny) machine for unit/integration tests."""
-    return Machine(make_config(kind, "tiny", **overrides))
+    return Machine(
+        make_config(kind, "tiny", **overrides), faults=faults, sanitize=sanitize
+    )
 
 
 def run_thread(machine: Machine, core_id: int, gen) -> int:

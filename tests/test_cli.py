@@ -45,3 +45,39 @@ def test_bad_app_rejected():
 def test_bad_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+def test_run_with_faults_and_sanitizer(capsys):
+    code = main([
+        "run", "cilk5-mt", "--config", "bt-mesi", "--scale", "tiny",
+        "--faults", "timing,seed=3", "--sanitize", "--watchdog", "500000",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "faults fired" in out and "sanitizer walks" in out
+
+
+def test_fuzz_smoke(capsys, tmp_path):
+    report_path = tmp_path / "fuzz.json"
+    code = main([
+        "fuzz", "--app", "cilk5-mt", "--config", "bt-mesi", "--scale", "tiny",
+        "--seeds", "2", "--out", str(report_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "end state identical" in out or "ok" in out.lower()
+    import json
+
+    report = json.loads(report_path.read_text(encoding="utf-8"))
+    assert report["app"] == "cilk5-mt"
+    assert len(report["cases"]) == 2
+    assert all(case["digest_match"] for case in report["cases"])
+
+
+def test_fuzz_positive_control(capsys):
+    code = main([
+        "fuzz", "--app", "cilk5-cs", "--config", "bt-hcc-dts-gwb",
+        "--scale", "tiny", "--seeds", "1", "--break-coherence",
+        "no-thief-flush", "--expect-violations",
+    ])
+    assert code == 0  # violations expected and found

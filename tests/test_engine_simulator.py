@@ -236,6 +236,96 @@ def test_fuse_refused_beyond_max_cycles():
     assert results == [False]
 
 
+# ----------------------------------------------------------------------
+# Daemon events interacting with stop() (watchdog-style usage)
+# ----------------------------------------------------------------------
+
+def test_stop_from_daemon_preempts_popped_regular_event():
+    """A daemon stopping the run must prevent the co-due regular event."""
+    sim = Simulator()
+    seen = []
+    sim.schedule(5, lambda: (seen.append("daemon"), sim.stop()), daemon=True)
+    sim.schedule(5, lambda: seen.append("regular"))
+    sim.run()
+    assert seen == ["daemon"]
+    # The regular event went back on the queue unexecuted.
+    assert sim.pending_events == 1
+    assert sim.now == 5
+
+
+def test_stop_from_daemon_suppresses_later_same_due_daemon():
+    sim = Simulator()
+    seen = []
+    sim.schedule(5, lambda: (seen.append("d1"), sim.stop()), daemon=True)
+    sim.schedule(5, lambda: seen.append("d2"), daemon=True)
+    sim.schedule(6, lambda: seen.append("regular"))
+    sim.run()
+    assert seen == ["d1"]
+    assert sim.pending_events == 1
+
+
+def test_run_resumes_cleanly_after_daemon_stop():
+    """The pushed-back event runs on the next run() call."""
+    sim = Simulator()
+    seen = []
+    sim.schedule(5, lambda: (seen.append("daemon"), sim.stop()), daemon=True)
+    sim.schedule(5, lambda: seen.append("regular"))
+    sim.run()
+    sim.run()
+    assert seen == ["daemon", "regular"]
+    assert sim.pending_events == 0
+
+
+def test_daemon_exception_propagates_without_running_regular_event():
+    """A raising daemon (the watchdog) must preempt the co-due event."""
+    sim = Simulator()
+    seen = []
+
+    def boom():
+        raise SimulationError("watchdog fired")
+
+    sim.schedule(5, boom, daemon=True)
+    sim.schedule(5, lambda: seen.append("regular"))
+    with pytest.raises(SimulationError, match="watchdog fired"):
+        sim.run()
+    assert seen == []
+
+
+def test_rearming_daemon_ticks_alongside_event_chain():
+    """A self-re-arming daemon (watchdog idiom) observes every interval."""
+    def scenario(fusion: bool):
+        sim = Simulator(fusion=fusion)
+        log = []
+
+        def tick():
+            log.append(("tick", sim.now))
+            sim.schedule(10, tick, daemon=True)
+
+        def chain(step: int):
+            log.append(("ev", sim.now))
+            if step >= 8:
+                return
+            target = sim.now + 4
+            if sim.try_fuse(target):
+                chain(step + 1)
+            else:
+                sim.schedule_at(target, lambda: chain(step + 1))
+
+        sim.schedule(10, tick, daemon=True)
+        sim.schedule(1, lambda: chain(0))
+        sim.run()
+        return log, sim.events_fused
+
+    fused_log, n_fused = scenario(True)
+    unfused_log, n_unfused = scenario(False)
+    assert fused_log == unfused_log
+    assert n_unfused == 0 and n_fused > 0
+    # Daemon ticks interleave with the chain but never outlive it: the
+    # last logged entry is a regular event, not a daemon tick.
+    assert fused_log[-1][0] == "ev"
+    assert ("tick", 10) in fused_log and ("tick", 20) in fused_log
+
+
 def test_fusion_stats_accounting():
     sim = Simulator(fusion=True)
 

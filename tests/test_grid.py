@@ -5,6 +5,7 @@ import dataclasses
 import pytest
 
 from repro.harness import (
+    FailedResult,
     GridError,
     GridPoint,
     clear_cache,
@@ -121,6 +122,58 @@ class TestFailureHandling:
         )
         with pytest.raises(TypeError):
             run_grid([bad], jobs=1)
+
+
+DEADLOCK_POINT = GridPoint("kernel-deadlock", "bt-mesi", "tiny", watchdog=20_000)
+
+
+class TestCrashTolerantSweeps:
+    """on_error="record": one wedged cell must not sink the sweep."""
+
+    def test_unknown_on_error_rejected(self):
+        with pytest.raises(ValueError):
+            run_grid([], on_error="ignore")
+
+    @pytest.mark.parametrize("jobs", (1, 3))
+    def test_deadlock_recorded_in_slot(self, jobs):
+        points = [SUB_GRID[0], DEADLOCK_POINT, SUB_GRID[1]]
+        results = _run_fresh(points, jobs=jobs, on_error="record")
+        assert len(results) == 3
+        ok_first, failed, ok_last = results
+        assert ok_first.cycles > 0 and ok_last.cycles > 0
+        assert isinstance(failed, FailedResult)
+        assert failed.failed and failed.error == "deadlock"
+        assert failed.app == "kernel-deadlock"
+        assert "no runtime progress" in failed.message
+        assert failed.diagnostic["done"] is False
+        assert "cores" in failed.diagnostic
+
+    def test_deadlock_not_retried(self):
+        # Deadlocks are deterministic; retries would just re-wedge.
+        results = _run_fresh([DEADLOCK_POINT], jobs=2, retries=3,
+                             on_error="record")
+        assert results[0].attempts == 1
+
+    def test_deadlock_raises_by_default(self):
+        with pytest.raises((GridError, Exception)) as exc_info:
+            _run_fresh([DEADLOCK_POINT], jobs=1)
+        assert "no runtime progress" in str(exc_info.value)
+
+    def test_watchdog_point_label_and_kwargs(self):
+        assert "kernel-deadlock" in DEADLOCK_POINT.label()
+        kwargs = DEADLOCK_POINT.run_kwargs()
+        assert kwargs["watchdog"] == 20_000
+
+    def test_faulted_point_runs_through_grid(self):
+        point = GridPoint(
+            "cilk5-mt", "bt-mesi", "quick", faults="timing", sanitize=True
+        )
+        clean = GridPoint("cilk5-mt", "bt-mesi", "quick")
+        faulted_res, clean_res = _run_fresh([point, clean], jobs=2)
+        assert faulted_res.extras["faults_fired"] > 0
+        assert faulted_res.extras["sanitizer_walks"] > 0
+        assert "faults_fired" not in clean_res.extras
+        assert "faults" in point.label() and "sanitize" in point.label()
 
 
 class TestMemoKeyCanonicalization:

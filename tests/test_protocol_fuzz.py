@@ -10,11 +10,18 @@ Two invariant suites:
   publication recipe and readers that follow the AMO+invalidate
   subscription recipe always read the published value, on every protocol,
   for arbitrary random addresses and values.
+
+A third suite repeats both under an active :class:`repro.faults.FaultPlan`
+with the sanitizer watching: injected NoC jitter, DRAM throttling, forced
+evictions, and steal aborts must change neither the linearized answer nor
+any coherence invariant, and timing-only plans must leave the end-state
+memory identical word for word.
 """
 
 from hypothesis import given, settings, strategies as st
 
 from repro.cores import ops
+from repro.faults import FaultPlan
 
 from helpers import tiny_machine
 
@@ -94,3 +101,108 @@ def test_publish_subscribe_discipline(kind, values, seed):
     machine.cores[2].start(subscriber())
     machine.sim.run()
     assert observed == values
+
+
+# ----------------------------------------------------------------------
+# The same invariants under fault injection + sanitizer
+# ----------------------------------------------------------------------
+
+def _amo_storm(machine, per_core_sequences, base):
+    def worker(sequence, stagger):
+        yield ops.Idle(1 + stagger)
+        for word, delta in sequence:
+            yield ops.Amo("add", base + word * 8, delta)
+            yield ops.Work(2)
+
+    for core_id, sequence in enumerate(per_core_sequences[:4]):
+        machine.cores[core_id].start(worker(sequence, core_id * 3))
+    machine.sim.run()
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    st.sampled_from(KINDS),
+    st.lists(
+        st.lists(st.tuples(st.integers(0, 7), st.integers(-5, 5)), max_size=12),
+        min_size=2,
+        max_size=4,
+    ),
+    st.integers(1, 2**16),
+)
+def test_amo_adds_linearize_under_faults(kind, per_core_sequences, fault_seed):
+    """Full fault plan + sanitizer: the commutative answer never changes."""
+    plan = FaultPlan.preset("full", seed=fault_seed)
+    machine = tiny_machine(kind, faults=plan, sanitize=True)
+    base = machine.address_space.alloc_words(8, "words")
+    _amo_storm(machine, per_core_sequences, base)
+    expected = [0] * 8
+    for sequence in per_core_sequences[:4]:
+        for word, delta in sequence:
+            expected[word] += delta
+    assert machine.host_read_array(base, 8) == expected
+    assert machine.sanitizer.finish(strict=False) == []
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    st.sampled_from(KINDS),
+    st.lists(
+        st.lists(st.tuples(st.integers(0, 7), st.integers(-5, 5)), max_size=12),
+        min_size=2,
+        max_size=4,
+    ),
+    st.integers(1, 2**16),
+)
+def test_timing_faults_leave_end_state_identical(kind, per_core_sequences, fault_seed):
+    """A timing-only plan may move cycles but not a single memory word."""
+    def run(faults):
+        machine = tiny_machine(kind, faults=faults, sanitize=True)
+        base = machine.address_space.alloc_words(8, "words")
+        _amo_storm(machine, per_core_sequences, base)
+        violations = machine.sanitizer.finish(strict=False)
+        return machine.host_read_array(base, 8), violations
+
+    plan = FaultPlan.preset("timing", seed=fault_seed)
+    assert plan.timing_only
+    clean_words, clean_violations = run(None)
+    fault_words, fault_violations = run(plan)
+    assert clean_violations == [] and fault_violations == []
+    assert fault_words == clean_words
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    st.sampled_from(KINDS),
+    st.lists(st.integers(0, 2**30), min_size=1, max_size=10),
+    st.integers(1, 2**16),
+)
+def test_publish_subscribe_survives_faults(kind, values, fault_seed):
+    """Forced evictions cannot break a correctly-synchronized program."""
+    plan = FaultPlan.preset("full", seed=fault_seed)
+    machine = tiny_machine(kind, faults=plan, sanitize=True)
+    data = machine.address_space.alloc_words(len(values), "data")
+    flag = machine.address_space.alloc_words(1, "flag")
+    observed = []
+
+    def publisher():
+        for i, value in enumerate(values):
+            yield ops.Store(data + i * 8, value)
+        yield ops.FlushAll()
+        yield ops.Amo("xchg", flag, 1)
+
+    def subscriber():
+        while True:
+            ready = yield ops.Amo("or", flag, 0)
+            if ready:
+                break
+            yield ops.Idle(13)
+        yield ops.InvAll()
+        for i in range(len(values)):
+            got = yield ops.Load(data + i * 8)
+            observed.append(got)
+
+    machine.cores[1].start(publisher())
+    machine.cores[2].start(subscriber())
+    machine.sim.run()
+    assert observed == values
+    assert machine.sanitizer.finish(strict=False) == []

@@ -92,6 +92,46 @@ class TestRunnerIntegration:
         assert simulation_count() == sims
         assert warm == res
 
+    def test_store_distinguishes_robustness_settings(self, store):
+        # Fault plans, the sanitizer, and the watchdog all shape what a
+        # run measures; each combination must get its own store slot.
+        run_experiment("cilk5-mt", "bt-mesi", "tiny")
+        run_experiment("cilk5-mt", "bt-mesi", "tiny", faults="timing")
+        run_experiment("cilk5-mt", "bt-mesi", "tiny", faults="timing,seed=7")
+        run_experiment("cilk5-mt", "bt-mesi", "tiny", sanitize=True)
+        run_experiment("cilk5-mt", "bt-mesi", "tiny", watchdog=1_000_000)
+        assert len(store) == 5
+
+    def test_faulted_run_does_not_poison_clean_cache(self, store):
+        clean = run_experiment("cilk5-mt", "bt-mesi", "tiny")
+        faulted = run_experiment("cilk5-mt", "bt-mesi", "tiny", faults="timing")
+        assert faulted.extras["faults_fired"] > 0
+        clear_cache()
+        warm = run_experiment("cilk5-mt", "bt-mesi", "tiny")
+        assert warm == clean
+        assert "faults_fired" not in warm.extras
+
+    def test_equivalent_fault_plan_forms_share_a_slot(self, store):
+        from repro.faults import FaultPlan
+
+        a = run_experiment("cilk5-mt", "bt-mesi", "tiny", faults="timing")
+        sims = simulation_count()
+        clear_cache()
+        b = run_experiment(
+            "cilk5-mt", "bt-mesi", "tiny", faults=FaultPlan.preset("timing")
+        )
+        assert simulation_count() == sims  # warm hit: same canonical key
+        assert b == a
+
+    def test_robustness_block_lands_in_payload_key(self, store):
+        run_experiment("cilk5-mt", "bt-mesi", "tiny", faults="timing", sanitize=True)
+        files = list(store.root.glob("*/*.json"))
+        assert len(files) == 1
+        payload = json.loads(files[0].read_text(encoding="utf-8"))
+        robustness = payload["key"]["experiment"]["robustness"]
+        assert robustness["sanitize"] is True
+        assert robustness["faults"]["noc_jitter_prob"] > 0
+
     def test_use_cache_false_bypasses_store(self, store):
         run_experiment("cilk5-mt", "bt-mesi", "tiny", use_cache=False)
         assert len(store) == 0

@@ -62,3 +62,18 @@ def test_progress_enabled_resolution(monkeypatch):
     assert termlog.progress_enabled(False) is False
     monkeypatch.setenv("REPRO_VERBOSE", "0")
     assert termlog.progress_enabled(True) is False
+
+
+def test_alert_prints_even_when_silenced(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_VERBOSE", "0")
+    termlog.alert("deadlock: kernel-deadlock/bt-mesi/tiny")
+    assert capsys.readouterr().err == "!! deadlock: kernel-deadlock/bt-mesi/tiny\n"
+
+
+def test_alert_terminates_an_active_status_line(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_VERBOSE", "1")
+    termlog.status("[1/3] sweeping")
+    termlog.alert("violation: unflushed-read")
+    termlog.log("next line starts clean")
+    err = capsys.readouterr().err
+    assert err == "\r[1/3] sweeping\n!! violation: unflushed-read\nnext line starts clean\n"
