@@ -74,10 +74,20 @@ def _cmd_run(args) -> int:
 
         tracer = Tracer()
         sample_interval = args.trace_interval
+    checkpoint = None
+    if args.checkpoint or args.init_dir:
+        checkpoint = {
+            "path": args.checkpoint,
+            "interval": args.checkpoint_interval if args.checkpoint else None,
+            "resume": args.resume,
+            "init_dir": args.init_dir,
+            "keep": args.keep_checkpoint,
+        }
     result = run_experiment(
         args.app, args.config, args.scale, serial=args.serial,
         tracer=tracer, sample_interval=sample_interval,
         faults=args.faults, sanitize=args.sanitize, watchdog=args.watchdog,
+        checkpoint=checkpoint,
     )
     if tracer is not None:
         from repro.trace import export_chrome_trace
@@ -107,6 +117,12 @@ def _cmd_run(args) -> int:
     if "sanitizer_walks" in result.extras:
         print(f"sanitizer walks: {int(result.extras['sanitizer_walks'])} "
               "(0 violations)")
+    if "ckpt_resumed_from" in result.extras:
+        print(f"resumed from   : cycle {int(result.extras['ckpt_resumed_from'])}")
+    if "ckpt_warm_start" in result.extras:
+        print("warm start     : init phase restored from snapshot")
+    if "ckpt_snapshots" in result.extras:
+        print(f"snapshots taken: {int(result.extras['ckpt_snapshots'])}")
     if args.baseline:
         serial = run_serial_baseline(args.app, args.scale)
         print(f"speedup vs serial-IO: {serial.cycles / result.cycles:.2f}x")
@@ -241,6 +257,26 @@ def _cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_checkpoint(args) -> int:
+    from repro.engine.checkpoint import load_snapshot
+
+    snap = load_snapshot(args.snapshot)
+    print(f"snapshot       : {args.snapshot}")
+    print(f"kind           : {snap['kind']}")
+    print(f"format version : {snap['version']}")
+    if snap["kind"] == "run":
+        print(f"cycle          : {snap['cycle']}")
+        print(f"cores          : {len(snap['cores'])}")
+        print(f"pending events : {len(snap['sim']['queue'])}")
+        print(f"replay log     : {len(snap['log'])} entries")
+        print(f"program done   : {snap['runtime']['done']}")
+        print(f"traced         : {snap['tracer'] is not None}")
+    else:
+        print(f"init signature : {snap['signature']}")
+        print(f"memory lines   : {len(snap['memory'])}")
+    return 0
+
+
 def _cmd_workspan(args) -> int:
     from repro.harness import workspan
 
@@ -315,6 +351,24 @@ def main(argv=None) -> int:
                             help="deadlock watchdog grace: raise a diagnostic "
                                  "DeadlockError after CYCLES cycles without "
                                  "runtime progress")
+    run_parser.add_argument("--checkpoint", default=None, metavar="FILE",
+                            help="periodically snapshot the full simulation "
+                                 "state to FILE; the file is removed after a "
+                                 "successful run unless --keep-checkpoint")
+    run_parser.add_argument("--checkpoint-interval", type=positive_int,
+                            default=50_000, metavar="N",
+                            help="cycles between snapshots for --checkpoint "
+                                 "(default: 50000)")
+    run_parser.add_argument("--resume", action="store_true",
+                            help="if the --checkpoint file exists, restore it "
+                                 "and resume instead of starting cold")
+    run_parser.add_argument("--keep-checkpoint", action="store_true",
+                            help="keep the --checkpoint file after a "
+                                 "successful run")
+    run_parser.add_argument("--init-dir", default=None, metavar="DIR",
+                            help="warm-start: reuse (or create) per-app init "
+                                 "snapshots in DIR, skipping the serial setup "
+                                 "phase on later runs")
 
     trace_parser = sub.add_parser(
         "trace",
@@ -377,6 +431,13 @@ def main(argv=None) -> int:
     fuzz_parser.add_argument("--out", default=None, metavar="FILE",
                              help="write the full fuzz report as JSON")
 
+    ckpt_parser = sub.add_parser(
+        "checkpoint",
+        help="inspect a simulation snapshot file (repro.engine.checkpoint)")
+    ckpt_parser.add_argument("snapshot", metavar="FILE",
+                             help="snapshot written by 'run --checkpoint' or "
+                                  "run_grid(checkpoint_dir=...)")
+
     ws_parser = sub.add_parser(
         "workspan", help="Cilkview work/span analysis", parents=[harness_flags])
     ws_parser.add_argument("app", choices=sorted(PAPER_APPS))
@@ -413,6 +474,7 @@ def main(argv=None) -> int:
         "workspan": _cmd_workspan,
         "perf": _cmd_perf,
         "fuzz": _cmd_fuzz,
+        "checkpoint": _cmd_checkpoint,
     }[args.command]
     code = handler(args)
     if args.command in ("run", "table", "fig", "workspan"):

@@ -51,6 +51,15 @@ def resolve_app(name: str) -> str:
     suffix_hits = [a for a in app_names() if a.split("-", 1)[-1] == name]
     if len(suffix_hits) == 1:
         return suffix_hits[0]
+    if len(suffix_hits) > 1:
+        # A bare suffix matching several registered apps must not fall
+        # through to "unknown": the user named real apps, just not
+        # uniquely — tell them which full keys they have to choose from.
+        candidates = ", ".join(sorted(suffix_hits))
+        raise ValueError(
+            f"ambiguous application name {name!r}: matches {candidates}; "
+            "use the full name"
+        )
     known = ", ".join(sorted(set(app_names()) | set(APP_ALIASES)))
     raise ValueError(f"unknown application {name!r}; known: {known}")
 

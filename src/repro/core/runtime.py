@@ -133,6 +133,7 @@ class WorkStealingRuntime:
         #: ``_tracing`` is hoisted so hot loops pay one attribute test.
         self.tracer = getattr(machine, "tracer", NULL_TRACER)
         self._tracing = self.tracer.enabled
+        machine.runtime = self
         if self.variant == "dts":
             self._install_uli_handlers()
 
@@ -299,7 +300,12 @@ class WorkStealingRuntime:
             yield from ctx.idle(STEAL_BACKOFF)
             return False
         self.stats.add("steal_attempts")
-        steal_start = self.machine.sim.now
+        # The attempt's start cycle lives on ctx, not in a frame local:
+        # checkpoint restore replays frames before the clock is restored,
+        # so a local read of sim.now would be stale for a steal that was
+        # in flight at the snapshot (repro.engine.checkpoint fixes the
+        # ctx attribute up concretely after the replay).
+        steal_start = ctx._steal_start = self.machine.sim.now
         if self._tracing:
             self.tracer.core_state(ctx.tid, steal_start, "steal-attempt")
         vid = self._choose_victim(ctx)
@@ -318,7 +324,7 @@ class WorkStealingRuntime:
         self.stats.add("steals")
         if self._tracing:
             self.tracer.steal(
-                ctx.tid, vid, task_id, steal_start,
+                ctx.tid, vid, task_id, ctx._steal_start,
                 self.machine.sim.now, self.variant,
             )
         yield from self._run_task(ctx, task)
@@ -364,7 +370,8 @@ class WorkStealingRuntime:
             yield from ctx.idle(STEAL_BACKOFF)
             return False
         self.stats.add("steal_attempts")
-        steal_start = self.machine.sim.now
+        # On ctx for checkpoint restore; see _steal_hw.
+        steal_start = ctx._steal_start = self.machine.sim.now
         if self._tracing:
             self.tracer.core_state(ctx.tid, steal_start, "steal-attempt")
         vid = self._choose_victim(ctx)
@@ -385,7 +392,7 @@ class WorkStealingRuntime:
         self.stats.add("steals")
         if self._tracing:
             self.tracer.steal(
-                ctx.tid, vid, task_id, steal_start,
+                ctx.tid, vid, task_id, ctx._steal_start,
                 self.machine.sim.now, self.variant,
             )
         # The stolen task's parent ran on another thread: invalidate to see
@@ -447,7 +454,8 @@ class WorkStealingRuntime:
             yield from ctx.idle(STEAL_BACKOFF)
             return False
         self.stats.add("steal_attempts")
-        steal_start = self.machine.sim.now
+        # On ctx for checkpoint restore; see _steal_hw.
+        steal_start = ctx._steal_start = self.machine.sim.now
         if self._tracing:
             self.tracer.core_state(ctx.tid, steal_start, "steal-attempt")
         vid = self._choose_victim(ctx)
@@ -465,7 +473,7 @@ class WorkStealingRuntime:
         self.stats.add("steals")
         if self._tracing:
             self.tracer.steal(
-                ctx.tid, vid, task_id, steal_start,
+                ctx.tid, vid, task_id, ctx._steal_start,
                 self.machine.sim.now, self.variant,
             )
         yield from ctx.cache_invalidate()
@@ -564,6 +572,16 @@ class WorkStealingRuntime:
         """Execute ``root`` to completion; returns elapsed cycles."""
         if self.done:
             raise SimulationError("runtime already ran a program")
+        self.start_threads(root, main_tid)
+        return self._drive()
+
+    def start_threads(self, root: Task, main_tid: int = 0) -> None:
+        """Start one thread generator per core (main runs ``root``).
+
+        Split out of :meth:`run` so checkpoint restore
+        (``repro.engine.checkpoint``) can start fresh generators and replay
+        the send log against them without entering the event loop.
+        """
         machine = self.machine
         for tid in range(self.n_threads):
             ctx = self.contexts[tid]
@@ -573,7 +591,23 @@ class WorkStealingRuntime:
                 machine.cores[tid].start(self._main_thread(ctx, root))
             else:
                 machine.cores[tid].start(self._worker_thread(ctx))
-        start = machine.sim.now
+
+    def resume_run(self) -> int:
+        """Drive a restored simulation to completion.
+
+        The machine must have been populated by ``Machine.restore``; the
+        reported elapsed cycles are measured from cycle 0 so they match an
+        uninterrupted run of the same program.  A snapshot may postdate
+        program completion (workers still halting), in which case this
+        just drains the remaining events.
+        """
+        return self._drive(start=0)
+
+    def _drive(self, start: Optional[int] = None) -> int:
+        """Run the event loop (with watchdog) until the program completes."""
+        machine = self.machine
+        if start is None:
+            start = machine.sim.now
         watchdog = None
         if self.watchdog_grace is not None:
             watchdog = Watchdog(

@@ -37,6 +37,7 @@ unfused runs are cycle- and statistic-identical.
 from __future__ import annotations
 
 import math
+from functools import partial
 from typing import Any, Callable, Generator, List, Optional
 
 from repro.cores import ops
@@ -94,6 +95,7 @@ class Core:
         "_dispatch_table",
         "_cnt",
         "_c_uli_handler",
+        "_ckpt_log",
     )
 
     #: Op kind -> unbound ``_op_*`` method name; bound per instance into
@@ -170,6 +172,13 @@ class Core:
         self._cnt = self.stats._counters
         self._c_uli_handler = self.stats.counter("cycles_uli_handler")
 
+        #: Checkpoint send-log (repro.engine.checkpoint): when a Machine
+        #: enables checkpointing this is the machine-wide list that records
+        #: every value sent into a thread generator, so a snapshot can be
+        #: restored by replaying the sends into freshly created coroutines.
+        #: None (the default) costs the hot loop one branch per operation.
+        self._ckpt_log: Optional[List] = None
+
     # ------------------------------------------------------------------
     # Thread startup
     # ------------------------------------------------------------------
@@ -219,11 +228,18 @@ class Core:
         daemon_queue = sim._daemon_queue
         max_cycles = sim.max_cycles
         fusible = sim._fusible
+        log = self._ckpt_log
+        cid = self.core_id
         fused = 0
         frame = frames[-1]
         try:
             while True:
                 try:
+                    # Every value that enters a thread generator funnels
+                    # through this single send, so the checkpoint log is a
+                    # complete replay script for the coroutine stacks.
+                    if log is not None:
+                        log.append((cid, value))
                     op = frame.send(value)
                 except StopIteration:
                     frames.pop()
@@ -377,7 +393,9 @@ class Core:
         self._uli_waiting = True
         self._uli_send_time = self.sim.now
         victim = self._peer(victim_core_id)
-        self.sim.schedule(latency, lambda: victim.deliver_uli_request(self.core_id))
+        # partial (not a closure) so an in-flight request is recognizable
+        # and serializable by repro.engine.checkpoint.
+        self.sim.schedule(latency, partial(victim.deliver_uli_request, self.core_id))
 
     def deliver_uli_response(self, ack: bool) -> None:
         """Called (via event) when the victim's ACK/NACK arrives."""
@@ -440,6 +458,9 @@ class Core:
         self.stats.add("uli_handled")
         self.stats.add("cycles_uli", self.uli_entry_latency)
         self.stats.add("cycles_uli_handler", self.uli_entry_latency)
+        if self._ckpt_log is not None:
+            # Replay marker: a handler frame was pushed for this thief.
+            self._ckpt_log.append(("h", self.core_id, thief))
         handler = self.uli_handler_factory(thief)
         self._frames.append(handler)
         self.sim.schedule(self.uli_entry_latency, self._resume_none_cont)
@@ -471,7 +492,9 @@ class Core:
     def _respond(self, thief_core_id: int, ack: bool) -> None:
         latency = self.uli_network.send_latency(self.core_id, thief_core_id)
         thief = self._peer(thief_core_id)
-        self.sim.schedule(latency, lambda: thief.deliver_uli_response(ack))
+        # partial (not a closure) so an in-flight response is recognizable
+        # and serializable by repro.engine.checkpoint.
+        self.sim.schedule(latency, partial(thief.deliver_uli_response, ack))
 
     # ------------------------------------------------------------------
     # Wiring

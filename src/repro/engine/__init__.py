@@ -1,11 +1,21 @@
 """Simulation kernel: event queue, statistics, deterministic RNG."""
 
+from repro.engine.checkpoint import (
+    CheckpointConfig,
+    CheckpointDaemon,
+    CheckpointError,
+    load_snapshot,
+    save_snapshot,
+)
 from repro.engine.rng import XorShift64
 from repro.engine.simulator import SimulationError, Simulator
 from repro.engine.stats import Counter, StatGroup
 from repro.engine.watchdog import DeadlockError, Watchdog
 
 __all__ = [
+    "CheckpointConfig",
+    "CheckpointDaemon",
+    "CheckpointError",
     "Counter",
     "DeadlockError",
     "SimulationError",
@@ -13,4 +23,6 @@ __all__ = [
     "StatGroup",
     "Watchdog",
     "XorShift64",
+    "load_snapshot",
+    "save_snapshot",
 ]

@@ -193,6 +193,13 @@ class Simulator:
                         "likely deadlock or runaway spin loop"
                     )
                 if daemon_queue and daemon_queue[0][0] <= time:
+                    # Return the popped event before draining daemons so the
+                    # heap is complete while they run: a checkpoint daemon
+                    # snapshots the queue, and a stopping daemon (deadlock
+                    # watchdog) must leave the un-executed event in place.
+                    # Re-arms always land strictly in the future, so the
+                    # re-pop below cannot loop.
+                    heapq.heappush(queue, (time, _seq, callback))
                     while daemon_queue and daemon_queue[0][0] <= time:
                         dtime, _dseq, dcallback = heappop(daemon_queue)
                         self.now = dtime
@@ -200,12 +207,8 @@ class Simulator:
                         if self._stop_requested:
                             break
                     if self._stop_requested:
-                        # A daemon (e.g. the deadlock watchdog) stopped the
-                        # run: the popped regular event has not executed,
-                        # so put it back and stop before it (and before any
-                        # later daemon) can fire.
-                        heapq.heappush(queue, (time, _seq, callback))
                         break
+                    continue
                 self.now = time
                 executed += 1
                 callback()
@@ -225,6 +228,46 @@ class Simulator:
     def pending_events(self) -> int:
         """Pending non-daemon events (the ones that drive the run loop)."""
         return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Checkpoint support (repro.engine.checkpoint)
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Clock/counter state plus the raw regular-event heap entries.
+
+        The (time, seq, callback) entries still hold live callables; the
+        checkpoint layer converts them to serializable descriptors.  Daemon
+        events are deliberately not exported: daemons are observers that
+        re-arm themselves relative to the restored clock.
+        """
+        return {
+            "now": self.now,
+            "seq": self._seq,
+            "max_cycles": self.max_cycles,
+            "events_executed": self.events_executed,
+            "events_fused": self.events_fused,
+            "queue": list(self._queue),
+        }
+
+    def load_state(self, state: dict, events) -> None:
+        """Install clock/counters and a rebuilt regular-event heap.
+
+        ``events`` carries (time, seq, callback) tuples whose callbacks the
+        checkpoint layer has rebound to this simulator's components.  The
+        daemon queue is cleared; observers must re-arm afterwards (the
+        clock is already at the restored cycle, so ``schedule_at`` with an
+        absolute due time keeps their phase identical to an uninterrupted
+        run).
+        """
+        self.now = state["now"]
+        self._seq = state["seq"]
+        self.max_cycles = state["max_cycles"]
+        self.events_executed = state["events_executed"]
+        self.events_fused = state["events_fused"]
+        self._queue = list(events)
+        heapq.heapify(self._queue)
+        self._daemon_queue.clear()
+        self._stop_requested = False
 
     def fusion_stats(self) -> dict:
         """Host-side event accounting: heap events vs fused continuations."""

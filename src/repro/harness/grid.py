@@ -27,7 +27,7 @@ import multiprocessing
 import os
 import time
 from collections import deque
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, field, fields, replace
 from typing import Dict, List, Optional, Sequence
 
 import repro.harness.runner as runner
@@ -80,6 +80,10 @@ class GridPoint:
     faults: Optional[object] = None
     sanitize: bool = False
     watchdog: Optional[int] = None
+    #: Checkpoint spec (CheckpointConfig kwargs dict; kept as plain data so
+    #: points pickle across worker processes).  Injected by run_grid's
+    #: checkpoint_dir machinery; not part of the experiment's identity.
+    checkpoint: Optional[dict] = None
 
     def label(self) -> str:
         parts = [self.app, self.kind, self.scale]
@@ -115,6 +119,7 @@ class GridPoint:
             faults=self.faults,
             sanitize=self.sanitize,
             watchdog=self.watchdog,
+            checkpoint=self.checkpoint,
         )
 
 
@@ -265,6 +270,77 @@ def _record_failure(
     )
 
 
+def _point_checkpoint_spec(
+    point: GridPoint,
+    checkpoint_dir: str,
+    checkpoint_interval: Optional[int],
+    resume: bool,
+    warm_init: bool,
+) -> dict:
+    """The CheckpointConfig kwargs injected into one grid point.
+
+    The snapshot filename is derived from the point's full identity (all
+    constructor fields except ``checkpoint`` itself), so a rerun of the
+    same sweep — or a retry of one point — finds exactly its own snapshot
+    and two different points can never collide.
+    """
+    from repro.harness.resultstore import hash_key
+
+    identity = {k: v for k, v in point.as_fields().items() if k != "checkpoint"}
+    if identity.get("faults") is not None:
+        identity["faults"] = str(identity["faults"])
+    digest = hash_key({"grid_point": identity})[:20]
+    return dict(
+        path=os.path.join(checkpoint_dir, f"{digest}.ckpt"),
+        interval=checkpoint_interval,
+        resume=resume,
+        init_dir=os.path.join(checkpoint_dir, "init") if warm_init else None,
+    )
+
+
+def _precompute_init_snapshots(points: Sequence[GridPoint], meter) -> None:
+    """Run each distinct app init phase once, serially, in the parent.
+
+    Every point whose ``checkpoint`` spec names an ``init_dir`` gets its
+    post-setup image written there (keyed by init signature), so the
+    fanned-out configuration variants all warm-start from one shared init
+    instead of each re-running it.  Apps whose setup consumes the machine
+    RNG are skipped with a note — they cold-start safely.
+    """
+    from repro.apps import make_app
+    from repro.config import make_config
+    from repro.engine.checkpoint import (
+        CheckpointError,
+        capture_init_state,
+        save_snapshot,
+    )
+    from repro.harness.params import app_params, init_signature
+    from repro.machine import Machine
+
+    seen = set()
+    for point in points:
+        init_dir = (point.checkpoint or {}).get("init_dir")
+        if not init_dir:
+            continue
+        overrides = point.app_overrides or {}
+        sig = init_signature(point.app, point.scale, **overrides)
+        if sig in seen:
+            continue
+        seen.add(sig)
+        path = os.path.join(init_dir, f"{sig}.init")
+        if os.path.exists(path):
+            continue
+        app = make_app(point.app, **app_params(point.app, point.scale, **overrides))
+        machine = Machine(
+            make_config(point.kind, point.scale, **(point.config_overrides or {}))
+        )
+        app.setup(machine)
+        try:
+            save_snapshot(path, capture_init_state(machine, app, sig))
+        except CheckpointError as exc:
+            meter.note(f"no init snapshot for {point.app}/{point.scale}: {exc}")
+
+
 def run_grid(
     points: Sequence[GridPoint],
     jobs: Optional[int] = None,
@@ -272,6 +348,9 @@ def run_grid(
     retries: int = 1,
     progress: Optional[bool] = None,
     on_error: str = "raise",
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_interval: Optional[int] = 50_000,
+    warm_init: bool = False,
 ):
     """Run every grid point; return results in input order.
 
@@ -287,15 +366,49 @@ def run_grid(
     :class:`FailedResult` in its slot (announced via ``termlog.alert``)
     instead of aborting the whole grid.  Deadlocks and sanitizer
     violations are deterministic, so they are never retried.
+
+    ``checkpoint_dir`` turns on deterministic checkpointing: every point
+    snapshots itself each ``checkpoint_interval`` cycles into its own file
+    under the directory.  ``on_error="resume"`` is ``"record"`` plus
+    restore-on-restart — a retried, re-run, or previously killed point
+    picks up from its latest snapshot instead of starting over (results
+    are byte-identical either way; it requires ``checkpoint_dir``).
+    ``warm_init`` additionally runs each distinct app init phase once,
+    serially, and warm-starts every configuration variant from that shared
+    post-setup image.
     """
-    if on_error not in ("raise", "record"):
-        raise ValueError(f"on_error must be 'raise' or 'record', got {on_error!r}")
+    if on_error not in ("raise", "record", "resume"):
+        raise ValueError(
+            f"on_error must be 'raise', 'record', or 'resume', got {on_error!r}"
+        )
+    if on_error == "resume" and checkpoint_dir is None:
+        raise ValueError("on_error='resume' requires checkpoint_dir")
+    if warm_init and checkpoint_dir is None:
+        raise ValueError("warm_init requires checkpoint_dir")
     points = list(points)
+    if checkpoint_dir is not None:
+        points = [
+            replace(
+                point,
+                checkpoint=_point_checkpoint_spec(
+                    point,
+                    checkpoint_dir,
+                    checkpoint_interval,
+                    resume=(on_error == "resume"),
+                    warm_init=warm_init,
+                ),
+            )
+            for point in points
+        ]
     if jobs is None:
         jobs = default_jobs()
     meter = _Progress(len(points), termlog.progress_enabled(progress))
     if not points:
         return []
+    if warm_init:
+        _precompute_init_snapshots(points, meter)
+    if on_error == "resume":
+        on_error = "record"
     if jobs <= 1 or len(points) == 1:
         results = []
         for point in points:

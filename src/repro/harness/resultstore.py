@@ -18,29 +18,65 @@ JSON payload dicts.  Serialization lives in ``repro.harness.export`` and
 the key construction in ``repro.harness.runner``, keeping this module free
 of import cycles.
 
-Keys are canonicalized by ``json.dumps(key, sort_keys=True, default=repr)``
-and hashed with SHA-256, so dict ordering never matters and non-JSON values
-(e.g. ``CacheParams`` overrides) participate through their deterministic
-``repr``.  Bump :data:`STORE_SCHEMA` whenever simulation semantics change
-in a way that invalidates archived results.
+Keys are canonicalized by ``json.dumps(key, sort_keys=True)`` and hashed
+with SHA-256, so dict ordering never matters.  Non-JSON values (e.g.
+``CacheParams`` overrides, fault plans) participate as dataclass field
+dicts; anything whose fallback ``repr`` embeds an object address (``<...
+object at 0x7f...>``) is rejected outright — such a repr differs in every
+process, so the "same" experiment would hash to a fresh key per run and
+the store would silently never hit.  Bump :data:`STORE_SCHEMA` whenever
+simulation semantics change in a way that invalidates archived results.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import os
+import re
 from pathlib import Path
 from typing import Optional
 
 #: Schema/version tag mixed into every key; bump to invalidate old stores.
 #: 2: keys gained the "robustness" block (fault plan / sanitizer / watchdog).
-STORE_SCHEMA = 2
+#: 3: experiment keys gained "init_signature" (checkpoint warm-start
+#:    identity; see repro.harness.params.init_signature) and payloads an
+#:    optional "lineage" block recording warm-start/resume provenance.
+#:    Lineage is payload-only by design: a warm-started or resumed run is
+#:    byte-identical to a cold one, so either must satisfy the other's
+#:    probes.
+STORE_SCHEMA = 3
+
+#: A default-repr containing a memory address: never stable across runs.
+_ADDRESS_REPR = re.compile(r" at 0x[0-9a-fA-F]+>")
+
+
+def _canonical_default(value):
+    """json.dumps fallback for non-JSON key components.
+
+    Dataclass instances (fault plans, cache-parameter overrides) reduce to
+    their field dict — stable across processes, unlike the default
+    ``repr`` of an arbitrary object, which embeds the object's memory
+    address and would make every process compute a different key for the
+    same experiment (a permanent, silent store miss).
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return dataclasses.asdict(value)
+    text = repr(value)
+    if _ADDRESS_REPR.search(text):
+        raise TypeError(
+            f"store key component {type(value).__name__} has an "
+            f"address-based repr ({text[:60]}...); it would hash "
+            "differently in every process. Convert it to plain data "
+            "(or a dataclass) before keying."
+        )
+    return text
 
 
 def hash_key(key: dict) -> str:
     """Canonical SHA-256 digest of a JSON-able key dict."""
-    text = json.dumps(key, sort_keys=True, default=repr)
+    text = json.dumps(key, sort_keys=True, default=_canonical_default)
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 

@@ -24,8 +24,18 @@ from repro.analysis.energy import EnergyReport, estimate_energy
 from repro.apps import make_app
 from repro.config import make_config
 from repro.core import WorkStealingRuntime
+from repro.engine.checkpoint import (
+    CheckpointConfig,
+    CheckpointDaemon,
+    CheckpointError,
+    capture_init_state,
+    capture_run_state,
+    load_snapshot,
+    restore_init_state,
+    save_snapshot,
+)
 from repro.faults import FaultPlan
-from repro.harness.params import app_params
+from repro.harness.params import app_params, init_signature
 from repro.harness.resultstore import STORE_SCHEMA, ResultStore
 from repro.machine import Machine
 
@@ -203,6 +213,14 @@ def _experiment_store_key(
             "runtime_kwargs": runtime_kwargs or {},
             "config": dataclasses.asdict(config),
             "robustness": _robustness_dict(faults, sanitize, watchdog),
+            # Schema 3: identifies the shared init phase.  Computed the
+            # same way for cold and warm-started runs (checkpointing never
+            # perturbs outcomes), so either satisfies probes for the other;
+            # whether a stored result actually warm-started or resumed is
+            # recorded in the payload's "lineage", not the key.
+            "init_signature": init_signature(
+                app_name, scale, **(app_overrides or {})
+            ),
         },
     }
 
@@ -234,6 +252,7 @@ def run_experiment(
     faults=None,
     sanitize: bool = False,
     watchdog: Optional[int] = None,
+    checkpoint=None,
 ) -> ExperimentResult:
     """Simulate ``app_name`` on configuration ``kind`` at ``scale``.
 
@@ -251,8 +270,20 @@ def run_experiment(
     on any invariant violation; a watchdogged run raises
     :class:`repro.engine.DeadlockError` with a per-core diagnostic instead
     of grinding to ``max_cycles``.
+
+    ``checkpoint`` (a :class:`repro.engine.CheckpointConfig`, a snapshot
+    path, or a kwargs dict) enables deterministic checkpoint/restore:
+    with ``path`` + ``interval`` the run snapshots itself periodically;
+    with ``resume`` an existing snapshot at ``path`` is restored and the
+    run finishes from there, byte-identical to an uninterrupted run; with
+    ``init_dir`` the post-``setup`` state is shared across configurations
+    (warm-start fan-out).  Checkpointing never perturbs a simulation's
+    outcome, so it participates in neither the memo key nor the store key;
+    provenance lands in ``result.extras`` (``ckpt_*`` keys) and the store
+    payload's ``lineage``.
     """
     faults = FaultPlan.coerce(faults)
+    ckpt = CheckpointConfig.coerce(checkpoint)
     traced = tracer is not None or sample_interval is not None
     if traced:
         use_cache = False
@@ -282,14 +313,43 @@ def run_experiment(
     global _SIM_COUNT
     _SIM_COUNT += 1
     params = app_params(app_name, scale, **(app_overrides or {}))
-    app = make_app(app_name, **params)
     machine = Machine(
         make_config(kind, scale, **(config_overrides or {})),
         tracer=tracer,
         faults=faults,
         sanitize=sanitize,
     )
-    app.setup(machine)
+    run_snapshots = ckpt is not None and ckpt.path is not None
+    if run_snapshots:
+        machine.enable_checkpointing()
+
+    lineage = {"warm_start": False, "resumed_from_cycle": None, "snapshots_taken": 0}
+    resume_snap = None
+    if run_snapshots and ckpt.resume and os.path.exists(ckpt.path):
+        resume_snap = load_snapshot(ckpt.path)
+
+    # Warm start: restore the shared post-setup image instead of running
+    # the app's (possibly expensive) serial init phase again.  Resumed
+    # runs re-execute setup: its effects are overwritten by the restore,
+    # but the app object it produces must exist either way.
+    app = None
+    if resume_snap is None and ckpt is not None and ckpt.init_dir:
+        sig = init_signature(app_name, scale, **(app_overrides or {}))
+        init_path = os.path.join(ckpt.init_dir, f"{sig}.init")
+        if os.path.exists(init_path):
+            app = restore_init_state(machine, load_snapshot(init_path), signature=sig)
+            lineage["warm_start"] = True
+    if app is None:
+        app = make_app(app_name, **params)
+        app.setup(machine)
+        if resume_snap is None and ckpt is not None and ckpt.init_dir and ckpt.save_init:
+            try:
+                save_snapshot(init_path, capture_init_state(machine, app, sig))
+            except CheckpointError:
+                # Setup consumed machine.rng: this app's init phase is not
+                # configuration-invariant, so every run must cold-start.
+                pass
+
     rt_kwargs = dict(runtime_kwargs or {})
     if serial:
         # Table III "serial IO" baseline: the serial elision of the same
@@ -313,8 +373,36 @@ def run_experiment(
             machine.sim, sampled_stats, sample_interval,
             tracer=tracer if tracer is not None else NULL_TRACER,
         )
-        sampler.start()
-    cycles = runtime.run(app.make_root(serial=False))
+        if run_snapshots:
+            # Let snapshots carry (and restores re-arm) the sampler.
+            machine.ckpt_sampler = sampler
+        if resume_snap is None:
+            sampler.start()
+
+    daemon = None
+    if run_snapshots and ckpt.interval:
+        daemon = CheckpointDaemon(
+            machine,
+            ckpt.interval,
+            lambda m: save_snapshot(ckpt.path, capture_run_state(m)),
+        )
+    if resume_snap is not None:
+        machine.restore(resume_snap, app.make_root(serial=False))
+        lineage["resumed_from_cycle"] = resume_snap["cycle"]
+        if daemon is not None:
+            daemon.arm()
+        cycles = runtime.resume_run()
+    else:
+        if daemon is not None:
+            daemon.arm()
+        cycles = runtime.run(app.make_root(serial=False))
+    if daemon is not None:
+        daemon.cancel()
+        lineage["snapshots_taken"] = daemon.snapshots_taken
+    if run_snapshots and not ckpt.keep and os.path.exists(ckpt.path):
+        # The run completed; a leftover snapshot would only be clutter
+        # (and a stale resume source).  ``keep=True`` preserves it.
+        os.remove(ckpt.path)
     if sampler is not None:
         sampler.finalize()
     if tracer is not None:
@@ -369,12 +457,24 @@ def run_experiment(
         result.extras["faults_fired"] = machine.fault_injector.total_fired()
     if machine.sanitizer is not None:
         result.extras["sanitizer_walks"] = machine.sanitizer.stats.get("walks")
+    # Checkpoint provenance: diagnostics only, never part of result
+    # identity (a warm-started or resumed run is byte-identical to a cold
+    # one; comparisons should ignore ``extras``).
+    if lineage["warm_start"]:
+        result.extras["ckpt_warm_start"] = 1.0
+    if lineage["resumed_from_cycle"] is not None:
+        result.extras["ckpt_resumed_from"] = float(lineage["resumed_from_cycle"])
+    if lineage["snapshots_taken"]:
+        result.extras["ckpt_snapshots"] = float(lineage["snapshots_taken"])
     if use_cache:
         _CACHE[key] = result
     if store is not None:
         from repro.harness.export import result_to_dict
 
-        store.store(store_key, {"key": store_key, "result": result_to_dict(result)})
+        store.store(
+            store_key,
+            {"key": store_key, "result": result_to_dict(result), "lineage": lineage},
+        )
     return result
 
 
@@ -388,7 +488,17 @@ def adopt_result(
     watchdog: Optional[int] = None,
 ) -> None:
     """Insert an externally computed result (e.g. from a grid worker) into
-    the in-process memo cache and, when configured, the result store."""
+    the in-process memo cache and, when configured, the result store.
+
+    Refuses anything that is not a successful :class:`ExperimentResult`:
+    adopting a ``FailedResult`` would persist a failure as a success and
+    every later probe of that key would silently skip the simulation.
+    """
+    if getattr(result, "failed", False) or not isinstance(result, ExperimentResult):
+        raise TypeError(
+            f"refusing to adopt {type(result).__name__} into the result "
+            "cache/store: only successful ExperimentResults are cacheable"
+        )
     faults = FaultPlan.coerce(faults)
     key = memo_key(
         result.app, result.kind, result.scale, result.serial,

@@ -133,6 +133,40 @@ class Machine:
             self.sanitizer = Sanitizer(self)
             self.sanitizer.install()
 
+        #: Backref set by WorkStealingRuntime.__init__; checkpoints need the
+        #: runtime's thread contexts and progress counters.
+        self.runtime = None
+        #: Machine-wide send log for checkpoint/restore, shared by every
+        #: core (see repro.engine.checkpoint).  None = checkpointing off,
+        #: which keeps the core hot loop at a single ``is not None`` test.
+        self._ckpt_log = None
+
+    # ------------------------------------------------------------------
+    # Checkpoint/restore (repro.engine.checkpoint)
+    # ------------------------------------------------------------------
+    def enable_checkpointing(self) -> None:
+        """Start recording the send log; must precede the first event."""
+        if self.sim.now != 0 or self.sim.events_executed or self.sim.events_fused:
+            raise RuntimeError(
+                "enable_checkpointing() must be called before the run starts"
+            )
+        if self._ckpt_log is None:
+            self._ckpt_log = []
+            for core in self.cores:
+                core._ckpt_log = self._ckpt_log
+
+    def snapshot(self) -> dict:
+        """Capture the complete deterministic run state (between events)."""
+        from repro.engine.checkpoint import capture_run_state
+
+        return capture_run_state(self)
+
+    def restore(self, snap: dict, root, main_tid: int = 0) -> None:
+        """Restore a run snapshot into this freshly built machine."""
+        from repro.engine.checkpoint import restore_run_state
+
+        restore_run_state(self, snap, root, main_tid)
+
     # ------------------------------------------------------------------
     # Thread contexts
     # ------------------------------------------------------------------

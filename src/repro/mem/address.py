@@ -103,3 +103,20 @@ class AddressSpace:
     @property
     def bytes_allocated(self) -> int:
         return self._next - self.BASE
+
+    # Checkpoint support (repro.engine.checkpoint).
+    def export_state(self) -> dict:
+        return {
+            "next": self._next,
+            "regions": [(r.name, r.base, r.size) for r in self._regions],
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._next = state["next"]
+        self._regions = [
+            Region(name=name, base=base, size=size)
+            for name, base, size in state["regions"]
+        ]
+        self._by_name = {}
+        for region in self._regions:
+            self._by_name.setdefault(region.name, region)

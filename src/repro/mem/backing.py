@@ -56,3 +56,10 @@ class MainMemory:
     @property
     def footprint_bytes(self) -> int:
         return len(self._lines) * LINE_BYTES
+
+    # Checkpoint support (repro.engine.checkpoint).
+    def export_state(self) -> Dict[int, List[int]]:
+        return {base: list(words) for base, words in self._lines.items()}
+
+    def load_state(self, state: Dict[int, List[int]]) -> None:
+        self._lines = {base: list(words) for base, words in state.items()}

@@ -59,6 +59,30 @@ class CacheLine:
     def dirty_word_count(self) -> int:
         return bin(self.dirty_mask).count("1")
 
+    def pack(self) -> Tuple:
+        """Plain-data form for ``repro.engine.checkpoint`` (no object refs)."""
+        return (
+            self.addr,
+            self.state,
+            list(self.data),
+            self.valid_mask,
+            self.dirty_mask,
+            self.lru,
+            sorted(self.sharers),
+            self.owner,
+        )
+
+    @classmethod
+    def unpack(cls, packed: Tuple) -> "CacheLine":
+        addr, state, data, valid_mask, dirty_mask, lru, sharers, owner = packed
+        line = cls(addr, state, list(data))
+        line.valid_mask = valid_mask
+        line.dirty_mask = dirty_mask
+        line.lru = lru
+        line.sharers = set(sharers)
+        line.owner = owner
+        return line
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CacheLine(0x{self.addr:x}, {self.state}, v={self.valid_mask:02x}, d={self.dirty_mask:02x})"
 
@@ -156,3 +180,27 @@ class TagArray:
             dropped.extend(cache_set.values())
             cache_set.clear()
         return dropped
+
+    # ------------------------------------------------------------------
+    # Checkpoint support (repro.engine.checkpoint)
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Packed resident lines plus the LRU clock."""
+        return {
+            "lines": [line.pack() for line in self.lines()],
+            "tick": self._tick,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore :meth:`export_state` output exactly (LRU order included).
+
+        Lines are placed directly into their sets without touching the LRU
+        clock, so replacement decisions after a restore are identical to
+        the uninterrupted run's.
+        """
+        for cache_set in self._sets:
+            cache_set.clear()
+        for packed in state["lines"]:
+            line = CacheLine.unpack(packed)
+            self._sets[self._set_index(line.addr)][line.addr] = line
+        self._tick = state["tick"]

@@ -39,6 +39,14 @@ class DramController:
         self.busy_until = 0
         self.stats = stats.child(f"dram{controller_id}")
 
+    # Checkpoint support (repro.engine.checkpoint): the queue clock is the
+    # only per-run mutable field outside the stats tree.
+    def export_state(self) -> dict:
+        return {"busy_until": self.busy_until}
+
+    def load_state(self, state: dict) -> None:
+        self.busy_until = state["busy_until"]
+
     def access(self, now: int, n_bytes: int) -> int:
         """Issue an access at cycle ``now``; return its total latency."""
         service = max(1, math.ceil(n_bytes / self.bytes_per_cycle))

@@ -182,6 +182,22 @@ class L1Cache:
         return max(0, last - now)
 
     # ------------------------------------------------------------------
+    # Checkpoint support (repro.engine.checkpoint)
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Every per-run mutable field except stats (captured with the
+        machine's StatGroup tree).  Protocols with extra buffers override
+        both methods and extend the dict."""
+        return {
+            "tags": self.tags.export_state(),
+            "store_buffer": list(self._store_buffer),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.tags.load_state(state["tags"])
+        self._store_buffer = deque(state["store_buffer"])
+
+    # ------------------------------------------------------------------
     # Shared helpers
     # ------------------------------------------------------------------
     def _trace_burst(self, kind: str, now: int, lines: int, latency: int) -> None:

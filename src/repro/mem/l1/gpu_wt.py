@@ -37,6 +37,15 @@ class GpuWtL1(L1Cache):
         super().__init__(*args, **kwargs)
         self._write_buffer: Deque[int] = deque()  # completion times
 
+    def export_state(self) -> dict:
+        state = super().export_state()
+        state["write_buffer"] = list(self._write_buffer)
+        return state
+
+    def load_state(self, state: dict) -> None:
+        super().load_state(state)
+        self._write_buffer = deque(state["write_buffer"])
+
     # ------------------------------------------------------------------
     # Operations
     # ------------------------------------------------------------------

@@ -98,6 +98,24 @@ class SharedL2:
     def register_l1(self, core_id: int, l1) -> None:
         self._l1s[core_id] = l1
 
+    # ------------------------------------------------------------------
+    # Checkpoint support (repro.engine.checkpoint)
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Per-bank tag arrays (directory state travels inside the packed
+        lines as ``sharers``/``owner``) and busy-until queue clocks."""
+        return {
+            "banks": [
+                {"tags": bank.tags.export_state(), "busy_until": bank.busy_until}
+                for bank in self.banks
+            ],
+        }
+
+    def load_state(self, state: dict) -> None:
+        for bank, bank_state in zip(self.banks, state["banks"]):
+            bank.tags.load_state(bank_state["tags"])
+            bank.busy_until = bank_state["busy_until"]
+
     def _core_pos(self, core_id: int):
         return self.mesh.core_position(core_id)
 

@@ -66,6 +66,19 @@ class TrafficMeter:
     def snapshot(self) -> Dict[str, int]:
         return dict(self.bytes)
 
+    # Checkpoint support (repro.engine.checkpoint).
+    def export_state(self) -> Dict[str, Dict[str, int]]:
+        return {
+            "bytes": dict(self.bytes),
+            "byte_hops": dict(self.byte_hops),
+            "messages": dict(self.messages),
+        }
+
+    def load_state(self, state: Dict[str, Dict[str, int]]) -> None:
+        self.bytes = dict(state["bytes"])
+        self.byte_hops = dict(state["byte_hops"])
+        self.messages = dict(state["messages"])
+
     def merged_with(self, other: "TrafficMeter") -> "TrafficMeter":
         out = TrafficMeter()
         for cat in CATEGORIES:

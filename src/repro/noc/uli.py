@@ -9,6 +9,15 @@ NACKs the sender.
 This module provides latency and statistics for that fabric.  Delivery
 semantics (enable/disable, handler execution, ACK/NACK) live in
 ``repro.cores.uli_unit``; this class is purely the wires.
+
+Checkpointing note: a message "in flight" on this network exists only as
+a pending delivery event on the simulator heap (``deliver_uli_request`` /
+``deliver_uli_response`` partials scheduled ``send_latency()`` cycles
+out).  ``repro.engine.checkpoint`` therefore snapshots in-flight ULI
+traffic as heap-event descriptors (``uli_req`` / ``uli_resp`` with their
+victim/thief operands and due times) rather than anything held here —
+this class is stateless apart from its counters, which are captured with
+the rest of the stats tree.
 """
 
 from __future__ import annotations

@@ -151,6 +151,13 @@ def chrome_trace_events(tracer: Tracer) -> List[dict]:
             "args": {"lines": lines, "latency": latency},
         })
 
+    # -- checkpoint marks as global instants ------------------------------
+    for cycle in getattr(tracer, "checkpoints", ()):
+        events.append({
+            "ph": "i", "s": "g", "pid": PID_CORES, "tid": 0,
+            "name": "checkpoint", "cat": "checkpoint", "ts": cycle,
+        })
+
     events.extend(_counter_events(tracer))
     return events
 

@@ -103,6 +103,10 @@ class NullTracer:
     def counter_sample(self, cycle: int, deltas: Dict[str, float]) -> None:
         pass
 
+    # -- checkpointing -------------------------------------------------
+    def checkpoint_mark(self, cycle: int) -> None:
+        pass
+
     # -- lifecycle -----------------------------------------------------
     def finish(self, cycle: int) -> None:
         pass
@@ -135,6 +139,8 @@ class Tracer(NullTracer):
         self.faults: List[Tuple[str, int, int]] = []
         #: (cycle, {stat: delta}) interval-sampler output.
         self.samples: List[Tuple[int, Dict[str, float]]] = []
+        #: Cycles at which the checkpoint daemon took a snapshot.
+        self.checkpoints: List[int] = []
         #: Experiment metadata set by the harness (app, kind, scale, ...).
         self.meta: Dict[str, object] = {}
         #: core_id -> display label ("core 0 (big)"), set by the harness.
@@ -217,6 +223,9 @@ class Tracer(NullTracer):
     def counter_sample(self, cycle, deltas) -> None:
         self.samples.append((cycle, deltas))
 
+    def checkpoint_mark(self, cycle) -> None:
+        self.checkpoints.append(cycle)
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -259,4 +268,5 @@ class Tracer(NullTracer):
             + len(self.dram_samples)
             + len(self.faults)
             + len(self.samples)
+            + len(self.checkpoints)
         )

@@ -87,6 +87,32 @@ class TestRegistry:
         app = make_app("cilk5-cs", n=64, grain=8, seed=3)
         assert app.n == 64 and app.grain == 8 and app.seed == 3
 
+    def test_suffix_resolution(self):
+        from repro.apps import resolve_app
+
+        assert resolve_app("cs") == "cilk5-cs"
+        assert resolve_app("cilksort") == "cilk5-cs"
+        assert resolve_app("ligra-cc") == "ligra-cc"
+
+    def test_ambiguous_suffix_lists_candidates(self, monkeypatch):
+        """Regression: a suffix matching several apps used to fall through
+        to the generic "unknown application" error, hiding the real
+        problem (the user named real apps, just not uniquely)."""
+        from repro.apps import common, resolve_app
+
+        monkeypatch.setitem(common._REGISTRY, "other5-cs", lambda **kw: None)
+        with pytest.raises(ValueError, match="ambiguous") as exc_info:
+            resolve_app("cs")
+        message = str(exc_info.value)
+        assert "cilk5-cs" in message and "other5-cs" in message
+        assert "unknown application" not in message
+
+    def test_unknown_name_still_rejected(self):
+        from repro.apps import resolve_app
+
+        with pytest.raises(ValueError, match="unknown application"):
+            resolve_app("definitely-not-an-app")
+
 
 class TestSimGraph:
     def test_csr_accessors(self, machine):

@@ -164,6 +164,39 @@ class TestCrashTolerantSweeps:
         kwargs = DEADLOCK_POINT.run_kwargs()
         assert kwargs["watchdog"] == 20_000
 
+    def test_adopt_result_refuses_failures(self):
+        """Regression: adopting a FailedResult would persist the failure
+        as a success, and every later probe of that key would silently
+        skip the simulation."""
+        from repro.harness.runner import adopt_result
+
+        failure = FailedResult(
+            app="kernel-deadlock", kind="bt-mesi", scale="tiny",
+            label="kernel-deadlock bt-mesi tiny", error="deadlock",
+            message="no runtime progress",
+        )
+        with pytest.raises(TypeError, match="refusing to adopt"):
+            adopt_result(failure)
+        with pytest.raises(TypeError, match="refusing to adopt"):
+            adopt_result("not a result at all")
+
+    def test_recorded_failure_never_lands_in_the_store(self, tmp_path):
+        """A failed cell must leave no store entry: a sweep rerun has to
+        re-attempt it, not warm-hit a bogus 'success'."""
+        store = set_result_store(tmp_path / "results")
+        results = _run_fresh(
+            [SUB_GRID[0], DEADLOCK_POINT], jobs=2, on_error="record"
+        )
+        assert isinstance(results[1], FailedResult)
+        assert len(store) == 1  # only the successful point persisted
+        # A rerun of the same sweep re-attempts (and re-records) the
+        # failed cell instead of loading it as a success.
+        rerun = _run_fresh(
+            [SUB_GRID[0], DEADLOCK_POINT], jobs=1, on_error="record"
+        )
+        assert isinstance(rerun[1], FailedResult)
+        assert rerun[0].cycles == results[0].cycles
+
     def test_faulted_point_runs_through_grid(self):
         point = GridPoint(
             "cilk5-mt", "bt-mesi", "quick", faults="timing", sanitize=True

@@ -51,6 +51,32 @@ class TestResultStore:
         assert store.load(key) is None
         assert store.misses == 1
 
+    def test_hash_key_canonicalizes_dataclasses(self):
+        """Regression: non-JSON key components used to fall back to
+        ``default=repr``, so two equal dataclass instances hashed to the
+        same key only by luck of their repr — and anything whose repr
+        embeds an object address silently missed on every probe."""
+        import dataclasses
+
+        @dataclasses.dataclass
+        class Override:
+            size_bytes: int
+            assoc: int
+
+        a = hash_key({"cfg": Override(8192, 2)})
+        b = hash_key({"cfg": Override(8192, 2)})
+        assert a == b
+        assert a != hash_key({"cfg": Override(8192, 4)})
+        # The dataclass hashes like its plain field dict.
+        assert a == hash_key({"cfg": {"size_bytes": 8192, "assoc": 2}})
+
+    def test_hash_key_rejects_address_reprs(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(TypeError, match="address-based repr"):
+            hash_key({"cfg": Opaque()})
+
 
 class TestRunnerIntegration:
     def test_warm_store_skips_simulation(self, store):
