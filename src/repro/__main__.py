@@ -257,6 +257,22 @@ def _cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_verify(args) -> int:
+    from repro.verify.cli import run_verify
+
+    return run_verify(
+        mixes=args.mixes,
+        cores=args.cores,
+        words=args.words,
+        ops=args.ops,
+        scenario=args.scenario,
+        break_coherence=args.break_coherence,
+        expect_violations=args.expect_violations,
+        max_states=args.max_states,
+        out=args.out,
+    )
+
+
 def _cmd_checkpoint(args) -> int:
     from repro.engine.checkpoint import load_snapshot
 
@@ -431,6 +447,48 @@ def main(argv=None) -> int:
     fuzz_parser.add_argument("--out", default=None, metavar="FILE",
                              help="write the full fuzz report as JSON")
 
+    verify_parser = sub.add_parser(
+        "verify",
+        help="exhaustively model-check the real coherence protocols on a "
+             "1-line micro-machine (BFS over canonicalized states); "
+             "violations yield minimal Perfetto-exportable counterexamples")
+    verify_parser.add_argument(
+        "--cores", type=int, default=2, choices=(2, 3, 4),
+        help="cores in the micro-machine (default: 2; heterogeneous mixes "
+             "use 1 MESI big core + the rest tiny)")
+    verify_parser.add_argument(
+        "--words", type=int, default=1, choices=(1, 2, 3),
+        help="words of the line under test in free mode (default: 1; more "
+             "words square the state space); the handoff scenario always "
+             "uses at least 2 (payload + flag)")
+    verify_parser.add_argument(
+        "--mixes", default="all", metavar="LIST",
+        help="comma-separated protocol mixes, or 'all' (default): "
+             "mesi, denovo, gpu-wt, gpu-wb, hcc-dnv, hcc-gwt, hcc-gwb")
+    verify_parser.add_argument(
+        "--ops", default="all", metavar="LIST",
+        help="comma-separated free-mode op alphabet, or 'all' (default): "
+             "load, store, amo, flush, invalidate, l1evict, l2evict, bypass")
+    verify_parser.add_argument(
+        "--scenario", default="all", choices=("all", "free", "handoff"),
+        help="'free' = full asynchronous interleaving of --ops; 'handoff' = "
+             "the scripted DTS parent/thief handoff (default: both)")
+    verify_parser.add_argument(
+        "--break-coherence", default=None,
+        choices=("no-thief-flush", "no-parent-invalidate"),
+        help="drop one discipline step from the handoff scripts (positive "
+             "control; implies --scenario handoff)")
+    verify_parser.add_argument(
+        "--expect-violations", action="store_true",
+        help="invert the verdict: fail unless a counterexample is found")
+    verify_parser.add_argument(
+        "--max-states", type=positive_int, default=500_000, metavar="N",
+        help="abort (and FAIL) an exploration past N states (default: "
+             "500000); an incomplete run proves nothing")
+    verify_parser.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="write counterexample JSON + Perfetto trace artifacts to DIR")
+
     ckpt_parser = sub.add_parser(
         "checkpoint",
         help="inspect a simulation snapshot file (repro.engine.checkpoint)")
@@ -474,6 +532,7 @@ def main(argv=None) -> int:
         "workspan": _cmd_workspan,
         "perf": _cmd_perf,
         "fuzz": _cmd_fuzz,
+        "verify": _cmd_verify,
         "checkpoint": _cmd_checkpoint,
     }[args.command]
     code = handler(args)

@@ -114,6 +114,19 @@ class L1Cache:
         """
         return None, 0, False
 
+    def snoop_peek_word(self, base: int, idx: int) -> Optional[int]:
+        """Non-demoting directory snoop of a single word.
+
+        Returns the word's current value when this cache holds it dirty
+        (fresher than the L2), else None.  No state transition: used by
+        ``SharedL2.read_word_bypass`` so mailbox polling cannot strip
+        ownership.
+        """
+        line = self.tags.peek(line_addr(base))
+        if line is not None and line.word_dirty(idx):
+            return line.data[idx]
+        return None
+
     # ------------------------------------------------------------------
     # Line insertion / eviction
     # ------------------------------------------------------------------

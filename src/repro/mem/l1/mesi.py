@@ -15,7 +15,6 @@ from repro.mem.amo import apply_amo
 from repro.mem.cacheline import (
     CacheLine,
     EXCLUSIVE,
-    FULL_MASK,
     MODIFIED,
     SHARED,
 )
@@ -114,9 +113,11 @@ class MesiL1(L1Cache):
         return words, dirty, True
 
     def _evict_victim(self, victim: CacheLine, now: int) -> None:
+        # MODIFIED implies a nonzero dirty mask (every M transition sets a
+        # dirty word; repro.verify proves M-with-empty-mask unreachable).
         if victim.state == MODIFIED and victim.dirty_mask:
             self.l2.writeback_line(
-                self.core_id, victim.addr, victim.data, victim.dirty_mask or FULL_MASK,
+                self.core_id, victim.addr, victim.data, victim.dirty_mask,
                 now, release_ownership=True,
             )
         else:

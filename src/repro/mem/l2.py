@@ -34,7 +34,7 @@ from repro.engine.stats import StatGroup
 from repro.mem.address import LINE_BYTES, WORDS_PER_LINE, line_addr, word_index
 from repro.mem.amo import apply_amo
 from repro.mem.backing import MainMemory
-from repro.mem.cacheline import FULL_MASK, CacheLine, TagArray, VALID
+from repro.mem.cacheline import CacheLine, TagArray, VALID
 from repro.mem.dram import DramController
 from repro.mem.traffic import (
     AMO_BYTES,
@@ -153,10 +153,11 @@ class SharedL2:
         if victim.dirty_mask:
             self.memory.write_words(victim.addr, victim.data, victim.dirty_mask)
             dram = self.dram[bank.bank_id % len(self.dram)]
-            dram.access(now + latency, LINE_DATA_BYTES)
+            latency += dram.access(now + latency, LINE_DATA_BYTES)
             self.traffic.record("dram_req", LINE_DATA_BYTES, 1)
-        else:
-            self.memory.write_words(victim.addr, victim.data, FULL_MASK)
+        # Clean victims are dropped: their words match DRAM by construction
+        # (every L2 data mutation sets dirty_mask; repro.verify proves the
+        # invariant), so writing them back would be untracked DRAM traffic.
         return latency
 
     def _recall_owner(self, bank: _Bank, entry: CacheLine, now: int) -> int:
@@ -197,7 +198,7 @@ class SharedL2:
             hops = self.mesh.hops(bank_pos, self._core_pos(sharer))
             round_trip = 2 * hops * (
                 self.mesh.config.router_latency + self.mesh.config.channel_latency
-            )
+            ) + 1
             worst = max(worst, round_trip)
             self.traffic.record("coh_req", CTRL_BYTES, hops)
             self.traffic.record("coh_resp", CTRL_BYTES, hops)
@@ -380,17 +381,49 @@ class SharedL2:
         return old, latency
 
     def read_word_bypass(self, core_id: int, address: int, now: int) -> Tuple[int, int]:
-        """Uncached word read at the L2 (ULI mailbox reads, monitor loads)."""
+        """Uncached word read at the L2 (ULI mailbox reads, monitor loads).
+
+        A bypass read is a *read*: it must observe the owner's latest value
+        but must not strip MESI/DeNovo ownership (mailbox polling would
+        otherwise demote the owner on every read and churn the directory).
+        The owner is snooped for the one word without any state change —
+        even when the owner is the requesting core itself (its own dirty
+        copy is the architectural value; the L2's may be stale).
+        """
         base = line_addr(address)
         bank = self.banks[self.bank_of(base)]
         latency = self._request_overhead(core_id, bank, now, CTRL_BYTES, "sync_req")
         entry, miss_latency = self._ensure_line(bank, base, now + latency)
         latency += miss_latency
-        if entry.owner is not None and entry.owner != core_id:
-            latency += self._recall_owner(bank, entry, now + latency)
-        value = entry.data[word_index(address)]
+        idx = word_index(address)
+        value = entry.data[idx]
+        if entry.owner is not None:
+            peeked, peek_latency = self._peek_owner_word(bank, entry, idx)
+            latency += peek_latency
+            if peeked is not None:
+                value = peeked
         latency += self._response_latency(core_id, bank, WORD_DATA_BYTES, "sync_resp")
         return value, latency
+
+    def _peek_owner_word(self, bank: _Bank, entry: CacheLine, idx: int) -> Tuple[Optional[int], int]:
+        """Snoop one word from the owning L1 without demoting it.
+
+        Returns (value or None, round-trip latency); None means the owner's
+        copy of that word is clean, so the L2's own data is current.
+        """
+        owner = entry.owner
+        l1 = self._l1s[owner]
+        value = l1.snoop_peek_word(entry.addr, idx)
+        hops = self.mesh.hops(self._bank_pos[bank.bank_id], self._core_pos(owner))
+        round_trip = 2 * hops * (
+            self.mesh.config.router_latency + self.mesh.config.channel_latency
+        ) + 1
+        self.traffic.record("coh_req", CTRL_BYTES, hops)
+        self.traffic.record(
+            "coh_resp", WORD_DATA_BYTES if value is not None else CTRL_BYTES, hops
+        )
+        self.stats.add("owner_peeks")
+        return value, round_trip
 
     # ------------------------------------------------------------------
     # Introspection (tests / debugging)

@@ -42,10 +42,13 @@ from typing import Dict, List, Optional, Set
 
 from repro.engine.simulator import SimulationError
 from repro.mem.address import word_addr
-from repro.mem.cacheline import EXCLUSIVE, MODIFIED, REGISTERED, SHARED
+from repro.verify.invariants import OWNED_STATES, check_swmr_walk
 
 #: L1 states that claim ownership of a line (single-writer states).
-_OWNED_STATES = (MODIFIED, EXCLUSIVE, REGISTERED)
+#: Re-exported from the shared invariant table (repro.verify.invariants):
+#: the exhaustive checker and this sanitizer must agree on what "owned"
+#: means, so there is exactly one definition.
+_OWNED_STATES = OWNED_STATES
 
 
 class SanitizerError(SimulationError):
@@ -158,83 +161,20 @@ class Sanitizer:
         self.machine.sim.schedule(self.interval, self._walk_tick, daemon=True)
 
     def check_now(self) -> int:
-        """One full SWMR walk; returns the number of new violations."""
+        """One full SWMR walk; returns the number of new violations.
+
+        The walk itself lives in the shared invariant table
+        (``repro.verify.invariants.check_swmr_walk``) so the exhaustive
+        model checker enumerates exactly the invariants spot-checked here.
+        """
         self.stats.add("walks")
         before = len(self.violations)
         machine = self.machine
-        l2 = machine.l2
-        owners_seen: Dict[int, int] = {}
-        for l1 in machine.l1s:
-            core_id = l1.core_id
-            for line in l1.tags.lines():
-                state = line.state
-                if state in _OWNED_STATES:
-                    other = owners_seen.get(line.addr)
-                    if other is not None:
-                        self._violation(
-                            "multiple-owners",
-                            f"line {line.addr:#x} owned by cores {other} and "
-                            f"{core_id} simultaneously",
-                            addr=line.addr, cores=[other, core_id],
-                        )
-                    owners_seen[line.addr] = core_id
-                    entry = l2.directory_entry(line.addr)
-                    dir_owner = entry.owner if entry is not None else None
-                    if dir_owner != core_id:
-                        self._violation(
-                            "directory-owner-mismatch",
-                            f"core {core_id} holds {line.addr:#x} in "
-                            f"{state} but the directory owner is {dir_owner}",
-                            addr=line.addr, core=core_id, directory_owner=dir_owner,
-                        )
-                elif state == SHARED:
-                    if line.dirty_mask:
-                        self._violation(
-                            "dirty-shared-line",
-                            f"core {core_id} holds {line.addr:#x} SHARED "
-                            f"with dirty words (mask {line.dirty_mask:#x})",
-                            addr=line.addr, core=core_id,
-                        )
-                    entry = l2.directory_entry(line.addr)
-                    if entry is None or core_id not in entry.sharers:
-                        self._violation(
-                            "untracked-sharer",
-                            f"core {core_id} holds {line.addr:#x} SHARED but "
-                            "is missing from the directory sharer list",
-                            addr=line.addr, core=core_id,
-                        )
-                elif line.dirty_mask and not l1.NEEDS_FLUSH:
-                    # V lines must be clean except under write-back GPU-WB,
-                    # whose dirty words await an explicit flush.
-                    self._violation(
-                        "dirty-unowned-line",
-                        f"core {core_id} ({l1.PROTOCOL}) holds dirty words in "
-                        f"unowned line {line.addr:#x}",
-                        addr=line.addr, core=core_id,
-                    )
-        # Inverse direction: directory claims must be backed by L1 state.
-        for bank in l2.banks:
-            for entry in bank.tags.lines():
-                if entry.owner is not None:
-                    line = machine.l1s[entry.owner].resident(entry.addr)
-                    if line is None or line.state not in _OWNED_STATES:
-                        self._violation(
-                            "stale-directory-owner",
-                            f"directory says core {entry.owner} owns "
-                            f"{entry.addr:#x} but its L1 holds "
-                            f"{line.state if line else 'nothing'}",
-                            addr=entry.addr, core=entry.owner,
-                        )
-                for sharer in sorted(entry.sharers):
-                    line = machine.l1s[sharer].resident(entry.addr)
-                    if line is None or line.state != SHARED:
-                        self._violation(
-                            "stale-directory-sharer",
-                            f"directory lists core {sharer} as a sharer of "
-                            f"{entry.addr:#x} but its L1 holds "
-                            f"{line.state if line else 'nothing'}",
-                            addr=entry.addr, core=sharer,
-                        )
+        for record in check_swmr_walk(machine.l1s, machine.l2):
+            details = dict(record)
+            kind = details.pop("kind")
+            message = details.pop("message")
+            self._violation(kind, message, **details)
         return len(self.violations) - before
 
     # ------------------------------------------------------------------

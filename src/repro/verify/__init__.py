@@ -1,0 +1,33 @@
+"""Exhaustive explicit-state model checking of the coherence protocols.
+
+``repro.verify`` drives the *real* ``L1Cache`` subclasses and ``SharedL2``
+transition functions (not a re-modeled abstraction) over a tiny 1-line,
+1-bank micro-machine, exhaustively interleaving architectural operations
+per core via BFS over canonicalized ``export_state`` snapshots.  Every
+reachable state is checked against the shared invariant table
+(``repro.verify.invariants``, also imported by ``repro.sanitize``) plus a
+ghost last-writer memory for data-value coherence; violations produce a
+minimal operation-sequence counterexample replayable through the Perfetto
+exporter.  See DESIGN.md §8.
+"""
+
+from repro.verify.counterexample import (
+    Counterexample,
+    export_counterexample_trace,
+    minimize_counterexample,
+    replay_counterexample,
+)
+from repro.verify.explore import MixResult, explore
+from repro.verify.model import MIXES, MicroMachine, mix_protocols
+
+__all__ = [
+    "Counterexample",
+    "MIXES",
+    "MicroMachine",
+    "MixResult",
+    "explore",
+    "export_counterexample_trace",
+    "minimize_counterexample",
+    "mix_protocols",
+    "replay_counterexample",
+]

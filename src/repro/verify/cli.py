@@ -1,0 +1,130 @@
+"""`repro verify` — run the exhaustive checker over protocol mixes.
+
+Exit code 0 means every requested (mix, scenario) pair was exhausted
+with zero violations; an incomplete exploration (``--max-states`` hit)
+is a *failure*, never silently reported as clean.  With
+``--expect-violations`` the verdict inverts: the run must find at least
+one counterexample (the positive-control mode CI uses to prove the
+checker actually catches injected coherence bugs).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import List, Optional
+
+from repro.verify.counterexample import export_counterexample_trace
+from repro.verify.explore import BREAK_MODES, MixResult, explore
+from repro.verify.model import MIXES
+
+
+def _resolve_mixes(spec: str) -> List[str]:
+    if spec == "all":
+        return list(MIXES)
+    mixes = spec.split(",")
+    unknown = [m for m in mixes if m not in MIXES]
+    if unknown:
+        raise ValueError(
+            f"unknown mix(es): {', '.join(unknown)}; "
+            f"pick from {', '.join(MIXES)}"
+        )
+    return mixes
+
+
+def _artifact_stem(result: MixResult) -> str:
+    stem = f"{result.mix}-{result.scenario}"
+    if result.break_coherence:
+        stem += f"-{result.break_coherence}"
+    return stem
+
+
+def _write_artifacts(result: MixResult, out_dir: str) -> List[str]:
+    os.makedirs(out_dir, exist_ok=True)
+    cx = result.counterexample
+    stem = os.path.join(out_dir, _artifact_stem(result))
+    cx_path = f"{stem}.cx.json"
+    with open(cx_path, "w", encoding="utf-8") as fh:
+        json.dump(cx.to_json(), fh, indent=1, sort_keys=True)
+    trace_path = f"{stem}.trace.json"
+    export_counterexample_trace(cx, trace_path)
+    return [cx_path, trace_path]
+
+
+def run_verify(
+    mixes: str = "all",
+    cores: int = 2,
+    words: int = 1,
+    ops: str = "all",
+    scenario: str = "all",
+    break_coherence: Optional[str] = None,
+    expect_violations: bool = False,
+    max_states: int = 500_000,
+    out: Optional[str] = None,
+) -> int:
+    """Run the checker; print one summary line per (mix, scenario)."""
+    try:
+        mix_list = _resolve_mixes(mixes)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if break_coherence is not None:
+        if break_coherence not in BREAK_MODES:
+            print(f"error: unknown --break-coherence {break_coherence!r}",
+                  file=sys.stderr)
+            return 2
+        if scenario == "free":
+            print("error: --break-coherence requires the handoff scenario",
+                  file=sys.stderr)
+            return 2
+        scenario = "handoff"
+    if scenario == "all":
+        scenarios = ["free", "handoff"]
+    elif scenario in ("free", "handoff"):
+        scenarios = [scenario]
+    else:
+        print(f"error: unknown scenario {scenario!r}", file=sys.stderr)
+        return 2
+
+    results: List[MixResult] = []
+    for mix in mix_list:
+        for scen in scenarios:
+            result = explore(
+                mix, cores=cores, words=words, ops=ops, scenario=scen,
+                break_coherence=break_coherence if scen == "handoff" else None,
+                max_states=max_states,
+            )
+            results.append(result)
+            print(result.summary())
+            if result.counterexample is not None:
+                cx = result.counterexample
+                primary = cx.violations[0]
+                print(f"  {primary['message']}")
+                for i, label in enumerate(cx.to_json()["step_labels"]):
+                    print(f"    step {i}: {label}")
+                if out:
+                    for path in _write_artifacts(result, out):
+                        print(f"  artifact: {path}", file=sys.stderr)
+
+    incomplete = [r for r in results if not r.complete]
+    found = [r for r in results if r.counterexample is not None]
+    total_states = sum(r.states for r in results)
+    total_transitions = sum(r.transitions for r in results)
+    print(f"total: {len(results)} explorations, {total_states} states, "
+          f"{total_transitions} transitions")
+    if incomplete:
+        print(f"FAIL: {len(incomplete)} exploration(s) hit --max-states "
+              f"({max_states}); nothing proven", file=sys.stderr)
+        return 1
+    if expect_violations:
+        if not found:
+            print("FAIL: expected violations, found none", file=sys.stderr)
+            return 1
+        print(f"positive control: {len(found)} counterexample(s) found")
+        return 0
+    if found:
+        print(f"FAIL: {len(found)} violation(s)", file=sys.stderr)
+        return 1
+    print("all invariants hold over the full reachable state space")
+    return 0

@@ -1,0 +1,171 @@
+"""Counterexample replay, minimization, and Perfetto export.
+
+A counterexample is just the operation sequence from the initial state to
+the first violating transition.  Because the micro-machine is
+deterministic and every op is applied unconditionally on replay, a
+counterexample is a self-contained reproducer: no snapshots needed.
+
+Minimization is greedy single-step removal to a fixpoint: drop a step,
+replay, and keep the removal only if the replay still produces a
+violation of the *same kind* as the original (same-kind, not just
+any-violation, so minimization cannot wander onto an unrelated bug).
+BFS already found a shortest path, so this mostly strips enabling noise
+(loads by third cores, redundant evictions) that rode along.
+
+The Perfetto export renders each operation as a task span on its core's
+track (scripted ops in program order, 10 cycles apart) plus an instant
+marker at the violation, so the failure reads like any other repro trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.trace.perfetto import export_chrome_trace
+from repro.trace.tracer import Tracer
+from repro.verify.model import (
+    Ghost,
+    MicroMachine,
+    apply_op,
+    check_state_invariants,
+    op_label,
+)
+
+
+@dataclass
+class Counterexample:
+    """A minimal op sequence whose last step violates an invariant."""
+
+    mix: str
+    protocols: Tuple[str, ...]
+    words: int
+    scenario: str
+    break_coherence: Optional[str]
+    #: Operation tuples, applied unconditionally in order.
+    steps: List[Tuple]
+    #: Violation records produced by the final step (first = primary).
+    violations: List[dict]
+
+    @property
+    def kind(self) -> str:
+        return self.violations[0]["kind"]
+
+    def to_json(self) -> dict:
+        return {
+            "mix": self.mix,
+            "protocols": list(self.protocols),
+            "words": self.words,
+            "scenario": self.scenario,
+            "break_coherence": self.break_coherence,
+            "steps": [list(op) for op in self.steps],
+            "step_labels": [op_label(op) for op in self.steps],
+            "violations": self.violations,
+        }
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "Counterexample":
+        return cls(
+            mix=obj["mix"],
+            protocols=tuple(obj["protocols"]),
+            words=obj["words"],
+            scenario=obj["scenario"],
+            break_coherence=obj["break_coherence"],
+            steps=[tuple(op) for op in obj["steps"]],
+            violations=list(obj["violations"]),
+        )
+
+
+def _fresh_machine(cx: Counterexample) -> Tuple[MicroMachine, Ghost]:
+    from repro.verify.explore import HANDOFF_FLAGS  # avoid import cycle
+
+    mm = MicroMachine(cx.protocols, cx.words)
+    handoff = cx.scenario == "handoff"
+    if handoff:
+        mm.domain = frozenset(mm.domain | HANDOFF_FLAGS)
+    mm.normalize_timing()
+    return mm, Ghost(last_write={} if handoff else None)
+
+
+def replay_counterexample(cx: Counterexample,
+                          steps: Optional[List[Tuple]] = None) -> List[dict]:
+    """Replay ``steps`` (default: the counterexample's own) from scratch.
+
+    Guards are ignored — the sequence is replayed literally — and the
+    ghost expectations are recomputed from the replayed prefix, so a
+    subsequence that drops a producing store also drops the expectation
+    it produced (minimization stays honest).  Returns every violation
+    observed across the whole replay.
+    """
+    mm, ghost = _fresh_machine(cx)
+    observed: List[dict] = []
+    for op in (cx.steps if steps is None else steps):
+        observed += apply_op(mm, ghost, op)
+        observed += check_state_invariants(mm)
+    return observed
+
+
+def minimize_counterexample(cx: Counterexample) -> Counterexample:
+    """Greedy single-step-removal minimization to a fixpoint."""
+    kind = cx.kind
+    steps = list(cx.steps)
+    violations = cx.violations
+    changed = True
+    while changed:
+        changed = False
+        i = 0
+        while i < len(steps):
+            candidate = steps[:i] + steps[i + 1:]
+            observed = replay_counterexample(cx, candidate)
+            kept = [v for v in observed if v["kind"] == kind]
+            if kept:
+                steps = candidate
+                violations = kept
+                changed = True
+            else:
+                i += 1
+    return Counterexample(
+        mix=cx.mix, protocols=cx.protocols, words=cx.words,
+        scenario=cx.scenario, break_coherence=cx.break_coherence,
+        steps=steps, violations=violations,
+    )
+
+
+#: Cycles between rendered steps / span duration in the exported trace.
+_STEP_CYCLES = 10
+_SPAN_CYCLES = 8
+
+
+def export_counterexample_trace(cx: Counterexample, path: str) -> str:
+    """Render the counterexample through the standard Perfetto exporter.
+
+    Each step is a task span on its issuing core's track (the global
+    ``l2evict`` gets its own "L2" track); the violation is an instant
+    event on the faulting core at the end.  The result opens in the
+    Perfetto UI exactly like a `repro trace` capture.
+    """
+    tracer = Tracer()
+    l2_track = len(cx.protocols)
+    for core, proto in enumerate(cx.protocols):
+        tracer.core_labels[core] = f"core {core} ({proto})"
+    tracer.core_labels[l2_track] = "L2 / directory"
+    for i, op in enumerate(cx.steps):
+        track = l2_track if op[0] == "l2evict" else op[1]
+        start = i * _STEP_CYCLES
+        tracer.task_begin(track, start, i, op_label(op))
+        tracer.task_end(track, start + _SPAN_CYCLES)
+    primary = cx.violations[0]
+    fault_core = primary.get("core", 0)
+    end = len(cx.steps) * _STEP_CYCLES
+    tracer.mem_burst(fault_core, end, f"violation:{primary['kind']}", 1, 0)
+    tracer.set_meta(
+        source="repro verify",
+        mix=cx.mix,
+        scenario=cx.scenario,
+        break_coherence=cx.break_coherence or "none",
+        violation_kind=primary["kind"],
+        violation_message=primary["message"],
+        steps=len(cx.steps),
+    )
+    tracer.finish(end + _STEP_CYCLES)
+    return export_chrome_trace(tracer, path)

@@ -1,0 +1,275 @@
+"""BFS exploration of the micro-machine state space.
+
+Two scenarios:
+
+* ``free`` — every core may issue any enabled operation at every step:
+  the full asynchronous interleaving of the ``--ops`` alphabet.  The
+  ghost tracks only *published* values, so the state space is the product
+  of architectural cache/directory/memory states.
+* ``handoff`` — each core runs a fixed DTS work-stealing script (parent
+  writes a task payload, publishes, hands off through an AMO flag; thief
+  takes the flag, self-invalidates, reads the payload, writes a
+  continuation back) with AMO-flag guards standing in for spin-waits.
+  All interleavings of the scripts are explored; ``check`` steps assert
+  the reader observes the *last write*, which is what the flush/AMO/
+  invalidate discipline promises.  ``break_coherence`` drops the
+  discipline step named by the control (the same knobs as
+  ``repro.runtime``'s deliberately-broken variants) to prove the checker
+  catches the bug with a minimal counterexample.
+
+BFS (not DFS) so the first violating path found is shortest-possible
+before greedy minimization even runs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.verify.counterexample import Counterexample, minimize_counterexample
+from repro.verify.model import (
+    Ghost,
+    MicroMachine,
+    OP_NAMES,
+    amo_operand,
+    apply_op,
+    canonical_key,
+    check_state_invariants,
+    mix_protocols,
+    store_value,
+)
+
+#: AMO-flag values used by the handoff scripts (beyond the free-mode
+#: value domain): 1 = parent handed off, 2 = thief done, 3 = parent ack.
+HANDOFF_FLAGS = frozenset({0, 1, 2, 3})
+
+BREAK_MODES = ("no-thief-flush", "no-parent-invalidate")
+
+
+@dataclass
+class MixResult:
+    """Outcome of exploring one protocol mix."""
+
+    mix: str
+    protocols: Tuple[str, ...]
+    words: int
+    scenario: str
+    break_coherence: Optional[str]
+    states: int = 0
+    transitions: int = 0
+    #: True iff the full reachable space was enumerated without hitting
+    #: ``max_states``.  An incomplete run proves nothing and is treated
+    #: as a failure by the CLI.
+    complete: bool = False
+    counterexample: Optional[Counterexample] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.complete and self.counterexample is None
+
+    def summary(self) -> str:
+        status = ("VIOLATION" if self.counterexample is not None
+                  else "ok" if self.complete else "INCOMPLETE")
+        extra = ""
+        if self.counterexample is not None:
+            extra = (f"  [{self.counterexample.violations[0]['kind']}"
+                     f" in {len(self.counterexample.steps)} steps]")
+        mode = self.scenario
+        if self.break_coherence:
+            mode += f"/{self.break_coherence}"
+        return (f"{self.mix:<8} {mode:<28} states={self.states:<6} "
+                f"transitions={self.transitions:<7} {status}{extra}")
+
+
+# ----------------------------------------------------------------------
+# Enabled-operation enumeration
+# ----------------------------------------------------------------------
+def _free_ops(mm: MicroMachine, allowed: frozenset) -> List[Tuple]:
+    ops: List[Tuple] = []
+    for core, l1 in enumerate(mm.l1s):
+        if "load" in allowed:
+            for w in range(mm.words):
+                ops.append(("load", core, w))
+        if "store" in allowed:
+            for w in range(mm.words):
+                ops.append(("store", core, w, store_value(core, w)))
+        if "amo" in allowed:
+            ops.append(("amo", core, 0, amo_operand(core)))
+        if "flush" in allowed and l1.NEEDS_FLUSH:
+            ops.append(("flush", core))
+        if "invalidate" in allowed and l1.NEEDS_INVALIDATE:
+            ops.append(("invalidate", core))
+        if "l1evict" in allowed and any(True for _ in l1.tags.lines()):
+            ops.append(("l1evict", core))
+        if "bypass" in allowed:
+            ops.append(("bypass", core, 0))
+    if "l2evict" in allowed and any(True for _ in mm.l2.banks[0].tags.lines()):
+        ops.append(("l2evict",))
+    return ops
+
+
+def build_handoff_scripts(
+    protocols: Sequence[str],
+    break_coherence: Optional[str],
+) -> List[List[Tuple[Optional[Tuple[int, int]], Tuple]]]:
+    """Per-core ``(guard, op)`` step lists for the DTS handoff scenario.
+
+    ``guard`` is ``(flag_word, value)``: the step is enabled only once
+    the globally published flag equals ``value`` (a spin-wait).  Word 0
+    is the task payload, word 1 the handoff flag.  Cores beyond the
+    parent/thief pair just poll the payload — background readers that
+    must never observe garbage.
+    """
+    if break_coherence is not None and break_coherence not in BREAK_MODES:
+        raise ValueError(
+            f"unknown break_coherence {break_coherence!r}; "
+            f"pick one of {', '.join(BREAK_MODES)}"
+        )
+    needs_flush = {"gpu-wb"}
+    needs_inval = {"denovo", "gpu-wt", "gpu-wb"}
+    parent, thief = 0, 1
+    p_proto, t_proto = protocols[parent], protocols[thief]
+
+    p_script: List[Tuple[Optional[Tuple[int, int]], Tuple]] = []
+    # Parent writes the payload, publishes it, hands off via the flag.
+    p_script.append((None, ("store", parent, 0, store_value(parent, 0))))
+    if p_proto in needs_flush:
+        p_script.append((None, ("flush", parent)))
+    p_script.append((None, ("amo", parent, 1, 1)))
+    # ... thief runs ...
+    # Parent takes the continuation back the same way.
+    p_script.append(((1, 2), ("amo", parent, 1, 3)))
+    if p_proto in needs_inval and break_coherence != "no-parent-invalidate":
+        p_script.append((None, ("invalidate", parent)))
+    p_script.append((None, ("check", parent, 0)))
+
+    t_script: List[Tuple[Optional[Tuple[int, int]], Tuple]] = []
+    t_script.append(((1, 1), ("amo", thief, 1, 0)))
+    if t_proto in needs_inval:
+        t_script.append((None, ("invalidate", thief)))
+    t_script.append((None, ("check", thief, 0)))
+    t_script.append((None, ("store", thief, 0, store_value(thief, 0))))
+    if t_proto in needs_flush and break_coherence != "no-thief-flush":
+        t_script.append((None, ("flush", thief)))
+    t_script.append((None, ("amo", thief, 1, 2)))
+
+    scripts = [p_script, t_script]
+    for extra in range(2, len(protocols)):
+        scripts.append([(None, ("load", extra, 0))])
+    return scripts
+
+
+def _handoff_ops(ghost_published: Dict[int, int], pcs: Tuple[int, ...],
+                 scripts) -> List[Tuple[Tuple, Tuple[int, ...]]]:
+    enabled = []
+    for core, pc in enumerate(pcs):
+        if pc >= len(scripts[core]):
+            continue
+        guard, op = scripts[core][pc]
+        if guard is not None and ghost_published.get(guard[0], 0) != guard[1]:
+            continue
+        next_pcs = pcs[:core] + (pc + 1,) + pcs[core + 1:]
+        enabled.append((op, next_pcs))
+    return enabled
+
+
+# ----------------------------------------------------------------------
+# BFS
+# ----------------------------------------------------------------------
+def explore(
+    mix: str,
+    cores: int = 2,
+    words: int = 2,
+    ops: str = "all",
+    scenario: str = "free",
+    break_coherence: Optional[str] = None,
+    max_states: int = 500_000,
+) -> MixResult:
+    """Exhaustively explore one protocol mix; stop at the first violation.
+
+    Returns a :class:`MixResult`; on violation its ``counterexample`` is
+    already minimized.
+    """
+    if scenario not in ("free", "handoff"):
+        raise ValueError(f"unknown scenario {scenario!r}")
+    if scenario == "free" and break_coherence is not None:
+        raise ValueError("break_coherence requires the handoff scenario")
+    if scenario == "handoff":
+        # The handoff scripts need a payload word and a flag word.
+        words = max(words, 2)
+    protocols = mix_protocols(mix, cores)
+    if ops == "all":
+        allowed = frozenset(OP_NAMES)
+    else:
+        allowed = frozenset(ops.split(","))
+        unknown = allowed - frozenset(OP_NAMES)
+        if unknown:
+            raise ValueError(f"unknown ops: {', '.join(sorted(unknown))}")
+
+    mm = MicroMachine(protocols, words)
+    handoff = scenario == "handoff"
+    scripts = None
+    if handoff:
+        scripts = build_handoff_scripts(protocols, break_coherence)
+        mm.domain = frozenset(mm.domain | HANDOFF_FLAGS)
+
+    result = MixResult(mix, protocols, words, scenario, break_coherence)
+
+    ghost0 = Ghost(last_write={} if handoff else None)
+    mm.normalize_timing()
+    snap0 = mm.snapshot()
+    pcs0 = tuple(0 for _ in scripts) if handoff else ()
+    key0 = canonical_key(snap0, ghost0.export(), pcs0)
+    # key -> (snapshot, ghost export, script pcs); parents for the
+    # root-to-state op path used to build counterexamples.
+    states = {key0: (snap0, ghost0.export(), pcs0)}
+    parents: Dict = {key0: None}
+    queue = deque([key0])
+
+    def path_to(key) -> List[Tuple]:
+        steps: List[Tuple] = []
+        while parents[key] is not None:
+            key, op = parents[key]
+            steps.append(op)
+        steps.reverse()
+        return steps
+
+    while queue:
+        key = queue.popleft()
+        snap, gexp, pcs = states[key]
+        mm.restore(snap)
+        if handoff:
+            enabled = _handoff_ops(gexp["published"], pcs, scripts)
+        else:
+            enabled = [(op, ()) for op in _free_ops(mm, allowed)]
+        for op, next_pcs in enabled:
+            mm.restore(snap)
+            ghost = Ghost.from_export(gexp)
+            violations = apply_op(mm, ghost, op)
+            violations += check_state_invariants(mm)
+            result.transitions += 1
+            if violations:
+                cx = Counterexample(
+                    mix=mix, protocols=protocols, words=words,
+                    scenario=scenario, break_coherence=break_coherence,
+                    steps=path_to(key) + [op], violations=violations,
+                )
+                result.states = len(states)
+                result.complete = True  # found, not truncated
+                result.counterexample = minimize_counterexample(cx)
+                return result
+            nsnap = mm.snapshot()
+            nkey = canonical_key(nsnap, ghost.export(), next_pcs)
+            if nkey not in states:
+                if len(states) >= max_states:
+                    result.states = len(states)
+                    result.complete = False
+                    return result
+                states[nkey] = (nsnap, ghost.export(), next_pcs)
+                parents[nkey] = (key, op)
+                queue.append(nkey)
+
+    result.states = len(states)
+    result.complete = True
+    return result

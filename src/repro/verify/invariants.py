@@ -1,0 +1,199 @@
+"""Shared coherence invariant table.
+
+One table, two consumers:
+
+* ``repro.sanitize.Sanitizer`` spot-checks these invariants on states a
+  running application happens to reach (periodic SWMR walks);
+* ``repro.verify`` asserts them at *every* reachable state of the
+  micro-machine, turning the spot checks into a static guarantee.
+
+Keeping the walk here (and importing it from both sides) is itself an
+invariant, enforced by ``tests/test_verify.py``: every kind the sanitizer
+can emit from a walk is a kind the checker enumerates exhaustively.
+
+Each check returns a list of JSON-able violation records
+``{"kind": ..., "message": ..., **details}``; an empty list means the
+invariant holds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.mem.address import WORDS_PER_LINE
+from repro.mem.cacheline import EXCLUSIVE, MODIFIED, REGISTERED, SHARED
+
+#: L1 states that claim ownership of a line (single-writer states).
+OWNED_STATES = (MODIFIED, EXCLUSIVE, REGISTERED)
+
+#: Violation kinds the SWMR walk can emit (sanitizer *and* checker).
+WALK_KINDS = frozenset({
+    "multiple-owners",
+    "directory-owner-mismatch",
+    "dirty-shared-line",
+    "untracked-sharer",
+    "dirty-unowned-line",
+    "stale-directory-owner",
+    "stale-directory-sharer",
+    "inclusion-violation",
+    "mesi-m-clean",
+})
+
+#: Kinds only the exhaustive checker asserts (they need a ghost memory or
+#: per-transition accounting the peek-only sanitizer cannot afford).
+CHECKER_ONLY_KINDS = frozenset({
+    "l2-clean-word-mismatch",
+    "value-coherence",
+    "corrupt-value",
+    "amo-stale-old",
+    "handoff-stale-read",
+    "traffic-conservation",
+})
+
+
+def _v(kind: str, message: str, **details) -> dict:
+    record = {"kind": kind, "message": message}
+    record.update(details)
+    return record
+
+
+def check_swmr_walk(l1s, l2) -> List[dict]:
+    """One full SWMR/directory-precision walk over L1 tags and the L2.
+
+    Asserts, in both directions:
+
+    * at most one owned (M/E/R) copy of a line system-wide;
+    * owned copies match ``directory_entry().owner`` exactly;
+    * MESI SHARED copies are clean and on the directory sharer list;
+    * untracked clean (V) lines carry no dirty words unless the protocol
+      is write-back (GPU-WB);
+    * directory ``owner``/``sharers`` claims are backed by L1 state;
+    * inclusion: tracked (MESI/DeNovo-owned) L1 lines have an L2 entry;
+    * MESI MODIFIED implies a nonzero dirty mask (the invariant that lets
+      ``MesiL1._evict_victim`` write back ``victim.dirty_mask`` alone).
+    """
+    violations: List[dict] = []
+    by_core = {l1.core_id: l1 for l1 in l1s}
+    owners_seen: Dict[int, int] = {}
+    for l1 in l1s:
+        core_id = l1.core_id
+        for line in l1.tags.lines():
+            state = line.state
+            if state in OWNED_STATES:
+                other = owners_seen.get(line.addr)
+                if other is not None:
+                    violations.append(_v(
+                        "multiple-owners",
+                        f"line {line.addr:#x} owned by cores {other} and "
+                        f"{core_id} simultaneously",
+                        addr=line.addr, cores=[other, core_id],
+                    ))
+                owners_seen[line.addr] = core_id
+                entry = l2.directory_entry(line.addr)
+                dir_owner = entry.owner if entry is not None else None
+                if dir_owner != core_id:
+                    violations.append(_v(
+                        "directory-owner-mismatch",
+                        f"core {core_id} holds {line.addr:#x} in "
+                        f"{state} but the directory owner is {dir_owner}",
+                        addr=line.addr, core=core_id, directory_owner=dir_owner,
+                    ))
+                if entry is None:
+                    violations.append(_v(
+                        "inclusion-violation",
+                        f"core {core_id} holds {line.addr:#x} in {state} "
+                        "but the line is not resident in the L2",
+                        addr=line.addr, core=core_id,
+                    ))
+                if state == MODIFIED and not line.dirty_mask:
+                    violations.append(_v(
+                        "mesi-m-clean",
+                        f"core {core_id} holds {line.addr:#x} MODIFIED "
+                        "with an empty dirty mask",
+                        addr=line.addr, core=core_id,
+                    ))
+            elif state == SHARED:
+                if line.dirty_mask:
+                    violations.append(_v(
+                        "dirty-shared-line",
+                        f"core {core_id} holds {line.addr:#x} SHARED "
+                        f"with dirty words (mask {line.dirty_mask:#x})",
+                        addr=line.addr, core=core_id,
+                    ))
+                entry = l2.directory_entry(line.addr)
+                if entry is None or core_id not in entry.sharers:
+                    violations.append(_v(
+                        "untracked-sharer",
+                        f"core {core_id} holds {line.addr:#x} SHARED but "
+                        "is missing from the directory sharer list",
+                        addr=line.addr, core=core_id,
+                    ))
+                if entry is None:
+                    violations.append(_v(
+                        "inclusion-violation",
+                        f"core {core_id} holds {line.addr:#x} in {state} "
+                        "but the line is not resident in the L2",
+                        addr=line.addr, core=core_id,
+                    ))
+            elif line.dirty_mask and not l1.NEEDS_FLUSH:
+                # V lines must be clean except under write-back GPU-WB,
+                # whose dirty words await an explicit flush.
+                violations.append(_v(
+                    "dirty-unowned-line",
+                    f"core {core_id} ({l1.PROTOCOL}) holds dirty words in "
+                    f"unowned line {line.addr:#x}",
+                    addr=line.addr, core=core_id,
+                ))
+    # Inverse direction: directory claims must be backed by L1 state.
+    for bank in l2.banks:
+        for entry in bank.tags.lines():
+            if entry.owner is not None:
+                holder = by_core.get(entry.owner)
+                line = holder.resident(entry.addr) if holder is not None else None
+                if line is None or line.state not in OWNED_STATES:
+                    violations.append(_v(
+                        "stale-directory-owner",
+                        f"directory says core {entry.owner} owns "
+                        f"{entry.addr:#x} but its L1 holds "
+                        f"{line.state if line else 'nothing'}",
+                        addr=entry.addr, core=entry.owner,
+                    ))
+            for sharer in sorted(entry.sharers):
+                holder = by_core.get(sharer)
+                line = holder.resident(entry.addr) if holder is not None else None
+                if line is None or line.state != SHARED:
+                    violations.append(_v(
+                        "stale-directory-sharer",
+                        f"directory lists core {sharer} as a sharer of "
+                        f"{entry.addr:#x} but its L1 holds "
+                        f"{line.state if line else 'nothing'}",
+                        addr=entry.addr, core=sharer,
+                    ))
+    return violations
+
+
+def check_l2_clean_words_match_memory(l2, memory) -> List[dict]:
+    """Clean L2 words must equal backing DRAM.
+
+    Every L2 data mutation (write-back merge, write-through, AMO, owner
+    recall) sets the word's dirty bit, so a clean word was filled from
+    DRAM and never modified.  This is the safety argument for
+    ``_evict_l2_line`` dropping clean victims without a DRAM write; the
+    checker proves it over every reachable state.
+    """
+    violations: List[dict] = []
+    for bank in l2.banks:
+        for entry in bank.tags.lines():
+            mem = memory.read_line(entry.addr)
+            for i in range(WORDS_PER_LINE):
+                if entry.dirty_mask & (1 << i):
+                    continue
+                if entry.data[i] != mem[i]:
+                    violations.append(_v(
+                        "l2-clean-word-mismatch",
+                        f"L2 holds {entry.addr:#x} word {i} clean as "
+                        f"{entry.data[i]} but DRAM has {mem[i]}",
+                        addr=entry.addr, word=i,
+                        l2_value=entry.data[i], dram_value=mem[i],
+                    ))
+    return violations

@@ -1,0 +1,451 @@
+"""Micro-machine and operation semantics for the model checker.
+
+The machine under test is the *real* memory system: ``PROTOCOLS`` L1
+instances wired to a real ``SharedL2`` over a real ``Mesh`` — no
+re-modeled abstraction.  It is shrunk to the smallest configuration that
+still exercises every transition: one 64B line, one L2 bank, and
+direct-mapped 1-line L1s, so the only events are the protocol transitions
+themselves.
+
+**Ghost memory.**  Data-value coherence is checked against a ghost
+last-writer memory tracking, per word:
+
+* ``published[w]`` — the value of the last *globally visible* write: any
+  MESI/DeNovo store or AMO (ownership makes them visible on demand via
+  recall), any GPU-WT write-through, any AMO at the L2, and any GPU-WB
+  dirty word at the moment it is flushed or written back.
+* ``last_write[w]`` (handoff scenario only) — the last value written by
+  anyone through any path, visible or not.
+
+The value rules per protocol follow from the Table I taxonomy:
+
+* MESI loads always return ``published`` exactly: every publish event
+  recalls the owner or invalidates MESI sharers, so a resident MESI copy
+  postdates the last publish.
+* DeNovo Registered reads and all misses return ``published`` exactly
+  (misses recall the owner at the L2).
+* DeNovo Valid / GPU clean hits may legally return stale data — but only
+  values that were actually written some time in the past (membership in
+  the closed value domain), never merge garbage.
+* A GPU-WB dirty hit returns this core's own pending word (trivially the
+  line's data — checked implicitly), and AMOs observe ``published``
+  exactly after the GPU-WB fence-before-atomic flush.
+
+**Timing normalization.**  Monotone timing state (bank/DRAM busy-until,
+store/write buffers, LRU ticks) never influences a transition *decision*
+in this 1-line machine, only latencies; it is reset after every operation
+so BFS states canonicalize.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.stats import StatGroup
+from repro.mem.address import WORD_BYTES, WORDS_PER_LINE
+from repro.mem.backing import MainMemory
+from repro.mem.cacheline import REGISTERED
+from repro.mem.dram import DramController
+from repro.mem.l1 import PROTOCOLS
+from repro.mem.l2 import SharedL2
+from repro.mem.traffic import TrafficMeter
+from repro.noc.mesh import Mesh, MeshConfig
+from repro.verify.invariants import (
+    check_l2_clean_words_match_memory,
+    check_swmr_walk,
+)
+
+#: The one line under test.
+LINE_BASE = 0x1000
+
+#: Protocol mixes: the four homogeneous protocols plus every
+#: heterogeneous big.TINY pairing (MESI big core + software-centric
+#: tiny cores), mirroring the repo's bt-hcc-* configurations.
+MIXES = {
+    "mesi": ("mesi",),
+    "denovo": ("denovo",),
+    "gpu-wt": ("gpu-wt",),
+    "gpu-wb": ("gpu-wb",),
+    "hcc-dnv": ("mesi", "denovo"),
+    "hcc-gwt": ("mesi", "gpu-wt"),
+    "hcc-gwb": ("mesi", "gpu-wb"),
+}
+
+#: Free-mode operation names (the ``--ops`` alphabet).
+OP_NAMES = (
+    "load", "store", "amo", "flush", "invalidate",
+    "l1evict", "l2evict", "bypass",
+)
+
+
+def mix_protocols(mix: str, cores: int) -> Tuple[str, ...]:
+    """Per-core protocol tuple for ``mix`` at ``cores`` cores.
+
+    Homogeneous mixes replicate the protocol; heterogeneous mixes are one
+    MESI big core plus ``cores - 1`` tiny cores.
+    """
+    kinds = MIXES[mix]
+    if len(kinds) == 1:
+        return kinds * cores
+    return (kinds[0],) + (kinds[1],) * (cores - 1)
+
+
+def store_value(core: int, word: int) -> int:
+    """Closed, collision-free per-(core, word) store value domain."""
+    return 10 * (core + 1) + (word + 1)
+
+
+def amo_operand(core: int) -> int:
+    return 100 + core
+
+
+def value_domain(n_cores: int, words: int) -> frozenset:
+    """Every value any operation can ever write (plus the zero fill)."""
+    values = {0}
+    for c in range(n_cores):
+        values.add(amo_operand(c))
+        for w in range(words):
+            values.add(store_value(c, w))
+    return frozenset(values)
+
+
+class Ghost:
+    """Ghost last-writer memory (see module docstring)."""
+
+    __slots__ = ("published", "last_write")
+
+    def __init__(self, published: Optional[Dict[int, int]] = None,
+                 last_write: Optional[Dict[int, int]] = None):
+        self.published: Dict[int, int] = dict(published or {})
+        #: Only tracked in the handoff scenario (None in free mode).
+        self.last_write = None if last_write is None else dict(last_write)
+
+    def copy(self) -> "Ghost":
+        return Ghost(self.published, self.last_write)
+
+    def export(self) -> dict:
+        return {
+            "published": dict(self.published),
+            "last_write": None if self.last_write is None
+            else dict(self.last_write),
+        }
+
+    @classmethod
+    def from_export(cls, state: dict) -> "Ghost":
+        return cls(state["published"], state["last_write"])
+
+    def wrote(self, word: int, value: int) -> None:
+        if self.last_write is not None:
+            self.last_write[word] = value
+
+
+class MicroMachine:
+    """1-line, 1-bank machine built from the real memory-system classes."""
+
+    def __init__(self, protocols: Sequence[str], words: int = 2):
+        if not 1 <= words <= WORDS_PER_LINE:
+            raise ValueError(f"words must be 1..{WORDS_PER_LINE}")
+        self.protocols = tuple(protocols)
+        self.words = words
+        n = len(self.protocols)
+        self.stats = StatGroup("verify")
+        self.memory = MainMemory()
+        self.traffic = TrafficMeter()
+        self.mesh = Mesh(MeshConfig(rows=1, cols=n))
+        dram = [DramController(0, self.stats)]
+        self.l2 = SharedL2(
+            self.mesh, self.memory, self.traffic, self.stats,
+            n_banks=1, bank_size_bytes=4096, assoc=1,
+            dram_controllers=dram,
+        )
+        # Direct-mapped 64B L1s: exactly one resident line, so the only
+        # eviction is the explicit l1evict operation.
+        self.l1s = [
+            PROTOCOLS[p](cid, self.l2, self.stats, size_bytes=64, assoc=1)
+            for cid, p in enumerate(self.protocols)
+        ]
+        self.domain = value_domain(n, words)
+
+    # ------------------------------------------------------------------
+    def addr(self, word: int) -> int:
+        return LINE_BASE + word * WORD_BYTES
+
+    def normalize_timing(self) -> None:
+        """Zero all monotone timing state (see module docstring)."""
+        for l1 in self.l1s:
+            l1._store_buffer.clear()
+            wb = getattr(l1, "_write_buffer", None)
+            if wb is not None:
+                wb.clear()
+            l1.tags._tick = 0
+            for line in l1.tags.lines():
+                line.lru = 0
+        for bank in self.l2.banks:
+            bank.busy_until = 0
+            bank.tags._tick = 0
+            for line in bank.tags.lines():
+                line.lru = 0
+        for dram in self.l2.dram:
+            dram.busy_until = 0
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore / canonicalization
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        return {
+            "l1": [l1.export_state() for l1 in self.l1s],
+            "l2": self.l2.export_state(),
+            "mem": self.memory.export_state(),
+        }
+
+    def restore(self, snap: dict) -> None:
+        for l1, state in zip(self.l1s, snap["l1"]):
+            l1.load_state(state)
+        self.l2.load_state(snap["l2"])
+        self.memory.load_state(snap["mem"])
+
+
+def _freeze(value):
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+def canonical_key(snap: dict, ghost_state: dict, pcs: Tuple[int, ...]):
+    """Hashable canonical form of (machine snapshot, ghost, script PCs).
+
+    Packed lines are sorted by address so dict insertion order (a replay
+    artifact, not architectural state) cannot split states; timing fields
+    were already zeroed by ``normalize_timing``.
+    """
+    l1s = tuple(
+        tuple(sorted(_freeze(p) for p in st["tags"]["lines"]))
+        for st in snap["l1"]
+    )
+    l2 = tuple(
+        tuple(sorted(_freeze(p) for p in bank["tags"]["lines"]))
+        for bank in snap["l2"]["banks"]
+    )
+    mem = tuple(sorted(
+        (base, tuple(line)) for base, line in snap["mem"].items()
+    ))
+    last = ghost_state["last_write"]
+    ghost = (
+        tuple(sorted(ghost_state["published"].items())),
+        None if last is None else tuple(sorted(last.items())),
+    )
+    return (l1s, l2, mem, ghost, pcs)
+
+
+# ----------------------------------------------------------------------
+# Operation application + per-operation value checking
+# ----------------------------------------------------------------------
+def op_label(op: Tuple) -> str:
+    name = op[0]
+    if name == "l2evict":
+        return "l2evict"
+    core = op[1]
+    if name in ("load", "store", "bypass", "check"):
+        return f"{name} c{core} w{op[2]}"
+    if name == "amo":
+        return f"amo c{core} w{op[2]}<-{op[3]}"
+    return f"{name} c{core}"
+
+
+def _publish_dirty_words(mm: MicroMachine, ghost: Ghost, core: int,
+                         mask_filter: Optional[int] = None) -> None:
+    """Record the GPU-WB dirty words of ``core`` as globally published.
+
+    Called just before the operation that makes them visible (flush,
+    dirty eviction, or the AMO fence on its own word).
+    """
+    l1 = mm.l1s[core]
+    for line in l1.tags.lines():
+        mask = line.dirty_mask
+        if mask_filter is not None:
+            mask = mask & mask_filter
+        for i in range(WORDS_PER_LINE):
+            if mask & (1 << i):
+                ghost.published[i] = line.data[i]
+
+
+def _check_load_value(mm: MicroMachine, ghost: Ghost, core: int, word: int,
+                      got: int, expected) -> List[dict]:
+    kind, want = expected
+    if kind == "exact":
+        if got != want:
+            return [{
+                "kind": "value-coherence",
+                "message": f"core {core} ({mm.protocols[core]}) load of word "
+                           f"{word} returned {got}, expected the published "
+                           f"value {want}",
+                "core": core, "word": word, "got": got, "expected": want,
+            }]
+    elif got not in mm.domain:
+        return [{
+            "kind": "corrupt-value",
+            "message": f"core {core} ({mm.protocols[core]}) load of word "
+                       f"{word} returned {got}, a value never written by "
+                       "any operation",
+            "core": core, "word": word, "got": got,
+        }]
+    return []
+
+
+def _load_expectation(mm: MicroMachine, ghost: Ghost, core: int, word: int):
+    """("exact", value) when the protocol guarantees the published value,
+    ("stale", None) when legally-stale data is allowed (membership only)."""
+    l1 = mm.l1s[core]
+    proto = l1.PROTOCOL
+    line = l1.resident(mm.addr(word))
+    published = ghost.published.get(word, 0)
+    if proto == "mesi":
+        # Publish events recall/invalidate MESI copies, so hits are fresh;
+        # misses fetch through the directory, which recalls the owner.
+        return ("exact", published)
+    if proto == "denovo":
+        if line is not None and line.state == REGISTERED:
+            return ("exact", published)
+        if line is not None:
+            return ("stale", None)  # V: possibly stale until invalidate
+        return ("exact", published)
+    if proto == "gpu-wt":
+        if line is not None:
+            return ("stale", None)
+        return ("exact", published)
+    # gpu-wb
+    if line is not None and line.valid_mask & (1 << word):
+        if line.dirty_mask & (1 << word):
+            # Own pending write: the hit returns the line's word itself.
+            return ("exact", line.data[word])
+        return ("stale", None)
+    return ("exact", published)  # miss / merge-fill under the dirty mask
+
+
+def apply_op(mm: MicroMachine, ghost: Ghost, op: Tuple) -> List[dict]:
+    """Apply one operation at ``now=0``, updating the ghost memory.
+
+    Returns value-coherence violations observed *by the operation itself*
+    (load/AMO/bypass result checks and the transition-level traffic
+    conservation assertion); state invariants are checked separately via
+    :func:`check_state_invariants`.
+    """
+    violations: List[dict] = []
+    name = op[0]
+
+    # Transition-level traffic conservation: any change to backing memory
+    # must be accompanied by DRAM traffic, and dram_req messages must
+    # match DRAM controller accesses one-for-one.
+    mem_before = {b: tuple(w) for b, w in mm.memory._lines.items()}
+    dram_req_before = mm.traffic.messages["dram_req"]
+    accesses_before = sum(d.stats.get("accesses") for d in mm.l2.dram)
+
+    if name == "load":
+        _, core, word = op
+        expected = _load_expectation(mm, ghost, core, word)
+        got, _lat = mm.l1s[core].load(mm.addr(word), 0)
+        violations += _check_load_value(mm, ghost, core, word, got, expected)
+    elif name == "store":
+        _, core, word, value = op
+        l1 = mm.l1s[core]
+        l1.store(mm.addr(word), value, 0)
+        if not l1.NEEDS_FLUSH:
+            ghost.published[word] = value
+        ghost.wrote(word, value)
+    elif name == "amo":
+        _, core, word, operand = op
+        l1 = mm.l1s[core]
+        if l1.NEEDS_FLUSH:
+            # GPU-WB fence-before-atomic publishes the word's own pending
+            # write before the AMO reads it at the L2.
+            _publish_dirty_words(mm, ghost, core, mask_filter=1 << word)
+        expected_old = ghost.published.get(word, 0)
+        old, _lat = l1.amo("xchg", mm.addr(word), operand, 0)
+        if old != expected_old:
+            violations.append({
+                "kind": "amo-stale-old",
+                "message": f"core {core} ({mm.protocols[core]}) AMO on word "
+                           f"{word} observed {old}, expected the published "
+                           f"value {expected_old}",
+                "core": core, "word": word, "got": old,
+                "expected": expected_old,
+            })
+        ghost.published[word] = operand
+        ghost.wrote(word, operand)
+    elif name == "flush":
+        _, core = op
+        _publish_dirty_words(mm, ghost, core)
+        mm.l1s[core].flush_all(0)
+    elif name == "invalidate":
+        _, core = op
+        mm.l1s[core].invalidate_all(0)
+    elif name == "l1evict":
+        _, core = op
+        l1 = mm.l1s[core]
+        if l1.NEEDS_FLUSH:
+            # A dirty GPU-WB eviction writes its words back: published.
+            _publish_dirty_words(mm, ghost, core)
+        l1.force_capacity_eviction(0)
+    elif name == "l2evict":
+        bank = mm.l2.banks[0]
+        victim = bank.tags.remove(LINE_BASE)
+        if victim is not None:
+            mm.l2._evict_l2_line(bank, victim, 0)
+    elif name == "bypass":
+        _, core, word = op
+        published = ghost.published.get(word, 0)
+        got, _lat = mm.l2.read_word_bypass(core, mm.addr(word), 0)
+        if got != published:
+            violations.append({
+                "kind": "value-coherence",
+                "message": f"core {core} bypass read of word {word} returned "
+                           f"{got}, expected the published value {published}",
+                "core": core, "word": word, "got": got, "expected": published,
+            })
+    elif name == "check":
+        # Scenario-scripted load with a visibility guarantee: the DTS
+        # discipline (flush / AMO handoff / invalidate) promises this core
+        # sees the *last write*, not merely some published value.
+        _, core, word = op
+        expected = _load_expectation(mm, ghost, core, word)
+        got, _lat = mm.l1s[core].load(mm.addr(word), 0)
+        violations += _check_load_value(mm, ghost, core, word, got, expected)
+        want = (ghost.last_write or {}).get(word, 0)
+        if got != want:
+            violations.append({
+                "kind": "handoff-stale-read",
+                "message": f"core {core} ({mm.protocols[core]}) reads {got} "
+                           f"from word {word} after the handoff, but the "
+                           f"last write was {want}",
+                "core": core, "word": word, "got": got, "expected": want,
+            })
+    else:  # pragma: no cover - guarded by op construction
+        raise ValueError(f"unknown op {op!r}")
+
+    mem_after = {b: tuple(w) for b, w in mm.memory._lines.items()}
+    dram_req_delta = mm.traffic.messages["dram_req"] - dram_req_before
+    access_delta = sum(d.stats.get("accesses") for d in mm.l2.dram) - accesses_before
+    if mem_after != mem_before and dram_req_delta == 0:
+        violations.append({
+            "kind": "traffic-conservation",
+            "message": f"operation {op_label(op)} changed backing memory "
+                       "without recording any dram_req traffic",
+            "op": op_label(op),
+        })
+    if dram_req_delta != access_delta:
+        violations.append({
+            "kind": "traffic-conservation",
+            "message": f"operation {op_label(op)} recorded {dram_req_delta} "
+                       f"dram_req messages but {access_delta} DRAM accesses",
+            "op": op_label(op),
+        })
+
+    mm.normalize_timing()
+    return violations
+
+
+def check_state_invariants(mm: MicroMachine) -> List[dict]:
+    """The shared invariant table, asserted on the current state."""
+    violations = check_swmr_walk(mm.l1s, mm.l2)
+    violations += check_l2_clean_words_match_memory(mm.l2, mm.memory)
+    return violations

@@ -1,0 +1,227 @@
+"""Model checker (`repro.verify`) unit + exhaustive-smoke tests."""
+
+import inspect
+import json
+
+import pytest
+
+from repro.sanitize.checker import Sanitizer
+from repro.trace.perfetto import validate_trace_file
+from repro.verify.counterexample import (
+    Counterexample,
+    export_counterexample_trace,
+    minimize_counterexample,
+    replay_counterexample,
+)
+from repro.verify.explore import build_handoff_scripts, explore
+from repro.verify.invariants import (
+    CHECKER_ONLY_KINDS,
+    WALK_KINDS,
+    check_l2_clean_words_match_memory,
+    check_swmr_walk,
+)
+from repro.verify.model import (
+    Ghost,
+    LINE_BASE,
+    MIXES,
+    MicroMachine,
+    apply_op,
+    canonical_key,
+    check_state_invariants,
+    mix_protocols,
+    store_value,
+)
+
+
+def machine_key(mm, ghost=None, pcs=()):
+    mm.normalize_timing()
+    ghost = ghost or Ghost()
+    return canonical_key(mm.snapshot(), ghost.export(), pcs)
+
+
+class TestCanonicalization:
+    def test_op_order_with_same_final_state_collapses(self):
+        # c0 then c1 vs c1 then c0 loading the same line end in the same
+        # architectural state (both SHARED, sharers {0, 1}).
+        a = MicroMachine(("mesi", "mesi"))
+        apply_op(a, Ghost(), ("load", 0, 0))
+        apply_op(a, Ghost(), ("load", 1, 0))
+        b = MicroMachine(("mesi", "mesi"))
+        apply_op(b, Ghost(), ("load", 1, 0))
+        apply_op(b, Ghost(), ("load", 0, 0))
+        assert machine_key(a) == machine_key(b)
+
+    def test_timing_state_does_not_split_states(self):
+        a = MicroMachine(("mesi", "mesi"))
+        apply_op(a, Ghost(), ("load", 0, 0))
+        key = machine_key(a)
+        # Hits bump LRU ticks and DRAM/bank clocks moved; normalization
+        # must fold these back into the same canonical state.
+        apply_op(a, Ghost(), ("load", 0, 0))
+        assert machine_key(a) == key
+
+    def test_distinct_architectural_states_stay_distinct(self):
+        a = MicroMachine(("mesi", "mesi"))
+        apply_op(a, Ghost(), ("load", 0, 0))
+        b = MicroMachine(("mesi", "mesi"))
+        apply_op(b, Ghost(), ("store", 0, 0, store_value(0, 0)))
+        assert machine_key(a) != machine_key(b)
+
+    def test_ghost_and_script_pcs_are_part_of_the_state(self):
+        mm = MicroMachine(("mesi", "mesi"))
+        base = machine_key(mm)
+        assert machine_key(mm, ghost=Ghost({0: 7})) != base
+        assert machine_key(mm, pcs=(1, 0)) != base
+
+
+class TestInvariantTable:
+    def test_sanitizer_walk_is_the_shared_table(self):
+        # The sanitizer's periodic walk must be the same code the checker
+        # proves exhaustively — not a drifting copy.
+        source = inspect.getsource(Sanitizer.check_now)
+        assert "check_swmr_walk" in source
+
+    def test_walk_and_checker_only_kinds_are_disjoint(self):
+        assert not (WALK_KINDS & CHECKER_ONLY_KINDS)
+
+    def test_walk_flags_double_owner(self):
+        mm = MicroMachine(("mesi", "mesi"))
+        apply_op(mm, Ghost(), ("store", 0, 0, 11))
+        # Corrupt: clone the owned line into the other core's tags.
+        line = mm.l1s[0].resident(LINE_BASE)
+        import copy
+
+        mm.l1s[1].tags.insert(copy.deepcopy(line))
+        kinds = {v["kind"] for v in check_swmr_walk(mm.l1s, mm.l2)}
+        assert "multiple-owners" in kinds
+        assert kinds <= WALK_KINDS
+
+    def test_walk_flags_inclusion_violation(self):
+        mm = MicroMachine(("mesi", "mesi"))
+        apply_op(mm, Ghost(), ("store", 0, 0, 11))
+        mm.l2.banks[0].tags.remove(LINE_BASE)
+        kinds = {v["kind"] for v in check_swmr_walk(mm.l1s, mm.l2)}
+        assert "inclusion-violation" in kinds
+
+    def test_walk_flags_mesi_m_clean(self):
+        mm = MicroMachine(("mesi", "mesi"))
+        apply_op(mm, Ghost(), ("store", 0, 0, 11))
+        mm.l1s[0].resident(LINE_BASE).dirty_mask = 0
+        kinds = {v["kind"] for v in check_swmr_walk(mm.l1s, mm.l2)}
+        assert "mesi-m-clean" in kinds
+
+    def test_clean_l2_word_must_match_dram(self):
+        mm = MicroMachine(("mesi", "mesi"))
+        apply_op(mm, Ghost(), ("load", 0, 0))
+        entry = mm.l2.directory_entry(LINE_BASE)
+        entry.data[0] = 999  # clean word diverges from DRAM
+        violations = check_l2_clean_words_match_memory(mm.l2, mm.memory)
+        assert [v["kind"] for v in violations] == ["l2-clean-word-mismatch"]
+
+    def test_clean_micro_machine_passes_everything(self):
+        mm = MicroMachine(("mesi", "gpu-wb"))
+        ghost = Ghost()
+        for op in (("store", 0, 0, 11), ("load", 1, 0),
+                   ("store", 1, 0, 21), ("flush", 1), ("load", 0, 0)):
+            assert apply_op(mm, ghost, op) == []
+            assert check_state_invariants(mm) == []
+
+
+class TestExhaustive:
+    @pytest.mark.parametrize("mix", sorted(MIXES))
+    def test_free_mode_exhausts_clean(self, mix):
+        result = explore(mix, words=1, scenario="free")
+        assert result.complete and result.counterexample is None
+        assert result.states > 100  # actually explored, not a stub
+
+    @pytest.mark.parametrize("mix", sorted(MIXES))
+    def test_handoff_exhausts_clean(self, mix):
+        result = explore(mix, scenario="handoff")
+        assert result.complete and result.counterexample is None
+
+    def test_max_states_overflow_reports_incomplete(self):
+        result = explore("mesi", words=1, scenario="free", max_states=10)
+        assert not result.complete and not result.ok
+
+    def test_three_core_heterogeneous_mix(self):
+        protocols = mix_protocols("hcc-gwb", 3)
+        assert protocols == ("mesi", "gpu-wb", "gpu-wb")
+        result = explore("hcc-gwb", cores=3, scenario="handoff")
+        assert result.complete and result.counterexample is None
+
+
+class TestPositiveControls:
+    def test_no_thief_flush_yields_minimal_counterexample(self, tmp_path):
+        result = explore("hcc-gwb", scenario="handoff",
+                         break_coherence="no-thief-flush")
+        cx = result.counterexample
+        assert cx is not None
+        assert cx.kind == "handoff-stale-read"
+        # Minimal: an unpublished thief store and the stale parent read.
+        assert len(cx.steps) == 2
+        # The counterexample replays from scratch to the same violation.
+        observed = replay_counterexample(cx)
+        assert any(v["kind"] == cx.kind for v in observed)
+        # ... and exports through the standard Perfetto pipeline.
+        trace = tmp_path / "cx.trace.json"
+        export_counterexample_trace(cx, str(trace))
+        assert validate_trace_file(str(trace)) > 0
+        meta = json.loads(trace.read_text())["metadata"]
+        assert meta["violation_kind"] == "handoff-stale-read"
+
+    def test_no_parent_invalidate_caught_on_gpu_wb(self):
+        result = explore("gpu-wb", scenario="handoff",
+                         break_coherence="no-parent-invalidate")
+        cx = result.counterexample
+        assert cx is not None and cx.kind == "handoff-stale-read"
+
+    def test_no_parent_invalidate_immune_on_denovo(self):
+        # DeNovo reads re-register through the directory, so a missing
+        # self-invalidate cannot return stale payload data.
+        result = explore("hcc-dnv", scenario="handoff",
+                         break_coherence="no-parent-invalidate")
+        assert result.complete and result.counterexample is None
+
+    def test_break_mode_skips_the_named_step(self):
+        intact = build_handoff_scripts(("mesi", "gpu-wb"), None)
+        broken = build_handoff_scripts(("mesi", "gpu-wb"), "no-thief-flush")
+        flat = lambda scripts: [op for script in scripts for _, op in script]
+        assert ("flush", 1) in flat(intact)
+        assert ("flush", 1) not in flat(broken)
+
+
+class TestMinimization:
+    def _cx(self, steps):
+        return Counterexample(
+            mix="hcc-gwb", protocols=("mesi", "gpu-wb"), words=2,
+            scenario="handoff", break_coherence="no-thief-flush",
+            steps=steps,
+            violations=[{"kind": "handoff-stale-read", "message": "seed"}],
+        )
+
+    def test_minimization_strips_irrelevant_steps(self):
+        # Noise (loads, an eviction) around the 2-step core bug.
+        cx = self._cx([
+            ("load", 0, 0),
+            ("store", 1, 0, store_value(1, 0)),
+            ("load", 1, 1),
+            ("l2evict",),
+            ("check", 0, 0),
+        ])
+        small = minimize_counterexample(cx)
+        assert small.steps == [("store", 1, 0, store_value(1, 0)),
+                               ("check", 0, 0)]
+        assert small.violations[0]["kind"] == "handoff-stale-read"
+
+    def test_minimization_preserves_violation_kind(self):
+        cx = self._cx([("store", 1, 0, store_value(1, 0)), ("check", 0, 0)])
+        small = minimize_counterexample(cx)
+        # Already minimal: dropping either step kills the violation.
+        assert small.steps == cx.steps
+
+    def test_counterexample_json_round_trip(self):
+        cx = self._cx([("store", 1, 0, 21), ("check", 0, 0)])
+        back = Counterexample.from_json(json.loads(json.dumps(cx.to_json())))
+        assert back.steps == cx.steps
+        assert back.protocols == cx.protocols
+        assert back.kind == cx.kind
