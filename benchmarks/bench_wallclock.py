@@ -9,7 +9,9 @@ checked: ``StatGroup.flatten()`` must be identical between modes, so the
 benchmark doubles as a proof that fusion changes nothing.
 
 The payload is written to ``BENCH_wallclock.json`` (override with
-``REPRO_BENCH_OUT``).  Environment knobs:
+``REPRO_BENCH_OUT``) and embeds the full host/python fingerprint
+(``repro.obs.host_fingerprint``) so the perf trajectory stays attributable
+when runs land from different machines.  Environment knobs:
 
 * ``REPRO_PERF_MIX=smoke``     — run the small CI mix (seconds).
 * ``REPRO_PERF_REPEATS=N``     — best-of-N wall time per mode (default 2).
@@ -42,6 +44,8 @@ def test_wallclock_throughput():
 
     agg = payload["aggregate"]
     assert all(e["stats_identical"] for e in payload["entries"])
+    # The fingerprint keeps cross-machine perf histories attributable.
+    assert payload["host"].get("python") and payload["host"].get("node") is not None
     assert agg["events_fused"] > 0, "fast path never engaged"
     assert agg["events_per_sec"] > 0
     floor = os.environ.get("REPRO_PERF_MIN_SPEEDUP")

@@ -33,7 +33,11 @@ def _kind_arg(text: str) -> str:
 
 
 def _apply_harness_flags(args) -> None:
-    """Wire --jobs / --results-dir / --no-store into the harness."""
+    """Wire --jobs / --results-dir / --no-store / observability flags into
+    the harness.  The observability knobs go through the environment so
+    forked grid workers inherit them."""
+    import os
+
     from repro.harness import set_default_jobs, set_result_store
 
     if getattr(args, "no_store", False):
@@ -42,6 +46,13 @@ def _apply_harness_flags(args) -> None:
         set_result_store(args.results_dir)
     if getattr(args, "jobs", None) is not None:
         set_default_jobs(args.jobs)
+    if getattr(args, "heartbeat_dir", None):
+        os.environ["REPRO_HEARTBEAT_DIR"] = args.heartbeat_dir
+    if getattr(args, "ledger", None) is not None:
+        os.environ["REPRO_LEDGER"] = args.ledger
+        from repro.obs.ledger import reset_ledger
+
+        reset_ledger()
 
 
 def _report_store() -> None:
@@ -293,6 +304,54 @@ def _cmd_checkpoint(args) -> int:
     return 0
 
 
+def _cmd_top(args) -> int:
+    from repro.obs.heartbeat import heartbeat_dir
+    from repro.obs.top import run_top
+
+    directory = args.dir or heartbeat_dir()
+    if not directory:
+        print(
+            "repro top: no snapshot directory "
+            "(pass --dir or set REPRO_HEARTBEAT_DIR)",
+            file=sys.stderr,
+        )
+        return 2
+    return run_top(
+        directory,
+        interval=args.interval,
+        once=args.once,
+        prom_path=args.prom,
+        frames=args.frames,
+    )
+
+
+def _cmd_profile(args) -> int:
+    from repro.obs.profile import (
+        format_profile,
+        run_profile,
+        write_chrome_trace,
+        write_profile,
+    )
+
+    payload = run_profile(repeats=args.repeats, quick=args.quick)
+    print(format_profile(payload))
+    if args.out:
+        write_profile(payload, args.out)
+        print(f"profile written: {args.out}", file=sys.stderr)
+    if args.trace:
+        write_chrome_trace(payload, args.trace)
+        print(f"trace written  : {args.trace} "
+              "(load in https://ui.perfetto.dev or chrome://tracing)",
+              file=sys.stderr)
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.obs.report import run_report
+
+    return run_report(args.ledger_file, as_json=args.json)
+
+
 def _cmd_workspan(args) -> int:
     from repro.harness import workspan
 
@@ -330,6 +389,15 @@ def main(argv=None) -> int:
     harness_flags.add_argument(
         "--no-store", action="store_true",
         help="disable the on-disk result store even if REPRO_RESULTS_DIR is set")
+    harness_flags.add_argument(
+        "--ledger", nargs="?", const="1", default=None, metavar="FILE",
+        help="append one JSONL manifest line per run_experiment; with no "
+             "FILE, the ledger lives next to the result store "
+             "(ledger.jsonl); equivalent to REPRO_LEDGER")
+    harness_flags.add_argument(
+        "--heartbeat-dir", default=None, metavar="DIR",
+        help="write live per-run progress snapshots into DIR (tail them "
+             "with 'repro top'); equivalent to REPRO_HEARTBEAT_DIR")
 
     sub.add_parser("list", help="list apps, configurations, and scales")
 
@@ -521,6 +589,57 @@ def main(argv=None) -> int:
         help="exit non-zero if the mix-aggregate fused/unfused speedup "
              "falls below X")
 
+    top_parser = sub.add_parser(
+        "top",
+        help="live top-style view over heartbeat snapshots written by runs "
+             "started with --heartbeat-dir / REPRO_HEARTBEAT_DIR")
+    top_parser.add_argument(
+        "--dir", default=None, metavar="DIR",
+        help="snapshot directory (default: REPRO_HEARTBEAT_DIR)")
+    top_parser.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="refresh period (default: 1.0)")
+    top_parser.add_argument(
+        "--once", action="store_true",
+        help="print a single frame and exit (no screen clearing)")
+    top_parser.add_argument(
+        "--frames", type=positive_int, default=None, metavar="N",
+        help="exit after N frames (plain output, no screen clearing)")
+    top_parser.add_argument(
+        "--prom", default=None, metavar="FILE",
+        help="also maintain a Prometheus textfile with sweep aggregates")
+
+    profile_parser = sub.add_parser(
+        "profile",
+        help="profile the simulator itself: wall-clock attribution per op "
+             "kind and component (coroutines, L1/L2/DRAM, NoC, event loop) "
+             "over the perf mix")
+    profile_parser.add_argument(
+        "--quick", action="store_true",
+        help="profile the small CI smoke mix instead of the full default mix")
+    profile_parser.add_argument(
+        "--repeats", type=positive_int, default=1, metavar="N",
+        help="runs per mix entry (default: 1)")
+    profile_parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the attribution payload as JSON")
+    profile_parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write a Chrome-trace flamegraph-style view of the attribution")
+
+    report_parser = sub.add_parser(
+        "report",
+        help="aggregate a run ledger into per-sweep summaries "
+             "(hit/miss/failure counts, wall-time breakdown)",
+        parents=[harness_flags])
+    report_parser.add_argument(
+        "ledger_file", nargs="?", default=None, metavar="LEDGER",
+        help="ledger JSONL file (default: ledger.jsonl next to the "
+             "configured result store)")
+    report_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the summary as JSON on stdout")
+
     args = parser.parse_args(argv)
     _apply_harness_flags(args)
     handler = {
@@ -534,6 +653,9 @@ def main(argv=None) -> int:
         "fuzz": _cmd_fuzz,
         "verify": _cmd_verify,
         "checkpoint": _cmd_checkpoint,
+        "top": _cmd_top,
+        "profile": _cmd_profile,
+        "report": _cmd_report,
     }[args.command]
     code = handler(args)
     if args.command in ("run", "table", "fig", "workspan"):

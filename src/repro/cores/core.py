@@ -96,6 +96,7 @@ class Core:
         "_cnt",
         "_c_uli_handler",
         "_ckpt_log",
+        "_prof",
     )
 
     #: Op kind -> unbound ``_op_*`` method name; bound per instance into
@@ -179,6 +180,13 @@ class Core:
         #: None (the default) costs the hot loop one branch per operation.
         self._ckpt_log: Optional[List] = None
 
+        #: Wall-clock profiler (repro.obs.profile.WallProfiler) armed by
+        #: EngineProfiler.install.  None (the default) costs one branch per
+        #: trampoline entry; when set, _resume redirects to the probed
+        #: twin.  Simulated results are identical either way — only host
+        #: time is observed.
+        self._prof = None
+
     # ------------------------------------------------------------------
     # Thread startup
     # ------------------------------------------------------------------
@@ -221,6 +229,8 @@ class Core:
         running, so hoisting is safe); with fusion disabled the loop pays
         exactly one extra branch per op.
         """
+        if self._prof is not None:
+            return self._resume_profiled(value)
         frames = self._frames
         sim = self.sim
         table = self._dispatch_table
@@ -277,6 +287,91 @@ class Core:
                     fused += 1
                     # Op boundary: identical ULI handler entry check to the
                     # one _on_complete performs on the unfused path.
+                    if (
+                        self._pending_uli is not None
+                        and self.uli_enabled
+                        and not self._in_handler
+                    ):
+                        self._resume_stack.append(value)
+                        self._enter_handler()
+                        return
+                    continue
+                self._pending_result = value
+                sim.schedule_at(completion, self._complete_cont)
+                return
+        finally:
+            if fused:
+                sim.events_fused += fused
+
+    def _resume_profiled(self, value: Any) -> None:
+        """Probed twin of :meth:`_resume` (repro.obs.profile).
+
+        Identical control flow — every branch below mirrors ``_resume``
+        line for line so simulated outcomes cannot diverge — with wall
+        probes around the two time sinks: ``frame.send`` (app/runtime
+        generator code) and the ``_op_*`` dispatch body.  Kept separate so
+        the unprofiled loop pays a single ``_prof is not None`` branch.
+        """
+        prof = self._prof
+        enter = prof.enter
+        leave = prof.exit
+        frames = self._frames
+        sim = self.sim
+        table = self._dispatch_table
+        queue = sim._queue
+        daemon_queue = sim._daemon_queue
+        max_cycles = sim.max_cycles
+        fusible = sim._fusible
+        log = self._ckpt_log
+        cid = self.core_id
+        fused = 0
+        frame = frames[-1]
+        try:
+            while True:
+                try:
+                    if log is not None:
+                        log.append((cid, value))
+                    enter("runtime.coroutine")
+                    try:
+                        op = frame.send(value)
+                    finally:
+                        leave()
+                except StopIteration:
+                    frames.pop()
+                    if self._in_handler and frames:
+                        saved = self._finish_handler()
+                        if saved is _NO_RESULT:
+                            return
+                        value = saved
+                        frame = frames[-1]
+                        continue
+                    if not frames:
+                        self.halted = True
+                    return
+                try:
+                    fn = table[op.KIND]
+                except KeyError:
+                    raise SimulationError(f"unknown op kind {op.KIND!r}") from None
+                enter(prof.op_label(op.KIND))
+                try:
+                    out = fn(op)
+                finally:
+                    leave()
+                if out is None:
+                    return
+                value, latency = out
+                if self._in_handler:
+                    self._c_uli_handler.add(latency)
+                completion = sim.now + latency
+                if (
+                    fusible
+                    and completion <= max_cycles
+                    and not sim._stop_requested
+                    and (not queue or queue[0][0] > completion)
+                    and (not daemon_queue or daemon_queue[0][0] > completion)
+                ):
+                    sim.now = completion
+                    fused += 1
                     if (
                         self._pending_uli is not None
                         and self.uli_enabled

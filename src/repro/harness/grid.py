@@ -163,23 +163,66 @@ def default_jobs() -> int:
 
 
 class _Progress:
-    """A single overwriting [done/total + ETA] line, via ``termlog``."""
+    """A single overwriting [done/total + ETA] line, via ``termlog``.
 
-    def __init__(self, total: int, enabled: bool):
+    ETA comes from a *windowed* completion rate over the most recent
+    simulated runs, with store/memo hits excluded: a warm store satisfies
+    its points in microseconds, so the naive ``elapsed / done * remaining``
+    extrapolation announces a wildly optimistic ETA right until the first
+    cold point lands (and a wildly pessimistic one on a sweep that ends in
+    a burst of hits).  Hits still advance ``done`` — they just contribute
+    no rate evidence.  The window keeps the estimate honest when per-point
+    cost drifts across a sweep (small scales first, large scales last).
+    """
+
+    #: Completions the rate window spans (timestamps kept: WINDOW + 1).
+    WINDOW = 16
+
+    def __init__(self, total: int, enabled: bool, clock=time.monotonic):
         self.total = total
         self.enabled = enabled
         self.done = 0
-        self.start = time.monotonic()
+        self.hits = 0
+        self._clock = clock
+        self.start = clock()
+        #: Timestamps of simulated (non-hit) completions, seeded with the
+        #: start time so the first miss already defines a rate.
+        self._window = deque([self.start], maxlen=self.WINDOW + 1)
+        #: Last computed ETA in seconds (None until an estimate exists);
+        #: exposed for tests and for the ledger's ETA-accuracy accounting.
+        self.last_eta: Optional[float] = None
 
-    def step(self, label: str) -> None:
+    def _eta(self, now: float) -> Optional[float]:
+        remaining = self.total - self.done
+        if remaining <= 0:
+            return 0.0
+        if len(self._window) >= 2:
+            span = self._window[-1] - self._window[0]
+            completions = len(self._window) - 1
+            if span > 0:
+                return remaining / (completions / span)
+        # No simulated completion yet (all hits so far): fall back to the
+        # naive extrapolation, which at least reflects observed hit cost.
+        if self.done > 0:
+            return (now - self.start) / self.done * remaining
+        return None
+
+    def step(self, label: str, instant: bool = False) -> None:
+        """Count one completed point; ``instant`` marks a store/memo hit."""
         self.done += 1
+        now = self._clock()
+        if instant:
+            self.hits += 1
+        else:
+            self._window.append(now)
+        self.last_eta = self._eta(now)
         if not self.enabled:
             return
-        elapsed = time.monotonic() - self.start
-        eta = elapsed / self.done * (self.total - self.done)
+        elapsed = now - self.start
+        eta_text = f"{self.last_eta:6.1f}s" if self.last_eta is not None else "   ?  "
         termlog.status(
             f"[{self.done}/{self.total}] {label:<48.48s} "
-            f"elapsed {elapsed:6.1f}s  ETA {eta:6.1f}s"
+            f"elapsed {elapsed:6.1f}s  ETA {eta_text}"
         )
         if self.done == self.total:
             termlog.end_status()
@@ -201,7 +244,11 @@ def _worker_entry(conn, point_kwargs: dict, results_dir: Optional[str]) -> None:
         result = runner.run_experiment(**point.run_kwargs())
         from repro.harness.export import result_to_dict
 
-        conn.send(("ok", result_to_dict(result)))
+        # ``sims`` lets the parent's ETA estimator distinguish a real
+        # simulation from a store hit (0 = satisfied from cache/store).
+        conn.send(
+            ("ok", {"result": result_to_dict(result), "sims": runner.simulation_count()})
+        )
     except DeadlockError as exc:
         try:
             conn.send(("deadlock", {"message": str(exc), "diagnostic": exc.diagnostic}))
@@ -412,6 +459,7 @@ def run_grid(
     if jobs <= 1 or len(points) == 1:
         results = []
         for point in points:
+            sims_before = runner.simulation_count()
             try:
                 results.append(runner.run_experiment(**point.run_kwargs()))
             except Exception as exc:
@@ -421,7 +469,10 @@ def run_grid(
                 results.append(
                     _record_failure(point, error, message, diagnostic, attempts=1)
                 )
-            meter.step(point.label())
+            meter.step(
+                point.label(),
+                instant=(runner.simulation_count() == sims_before),
+            )
         return results
     return _run_parallel(points, jobs, timeout, retries, meter, on_error)
 
@@ -468,9 +519,30 @@ def _run_parallel(
         error: str = "error",
         diagnostic: Optional[dict] = None,
         retryable: bool = True,
+        worker_reported: bool = True,
     ) -> None:
         slot = running[idx]
         reap(idx)
+        # A worker that failed inside run_experiment wrote its own ledger
+        # line before reporting; a killed or timed-out worker could not, so
+        # the parent records the attempt on its behalf.
+        if not worker_reported:
+            from repro.obs.ledger import get_ledger
+
+            ledger = get_ledger()
+            if ledger is not None:
+                ledger.record(
+                    source="grid",
+                    outcome="failed",
+                    error=error,
+                    message=reason.splitlines()[0] if reason else error,
+                    app=slot.point.app,
+                    kind=slot.point.kind,
+                    scale=slot.point.scale,
+                    serial=slot.point.serial,
+                    attempt=slot.attempt,
+                    wall_s=timeout if error == "timeout" else None,
+                )
         # Deadlocks and sanitizer violations are deterministic functions
         # of the grid point: a retry would only reproduce them.
         if retryable and slot.attempt <= retries:
@@ -505,12 +577,16 @@ def _run_parallel(
                         status, payload = slot.conn.recv()
                     except (EOFError, OSError):
                         made_progress = True
-                        fail(idx, "worker died before reporting a result")
+                        fail(
+                            idx,
+                            "worker died before reporting a result",
+                            worker_reported=False,
+                        )
                         continue
                     made_progress = True
                     if status == "ok":
                         reap(idx)
-                        result = result_from_dict(payload)
+                        result = result_from_dict(payload["result"])
                         runner.adopt_result(
                             result,
                             app_overrides=slot.point.app_overrides,
@@ -521,7 +597,9 @@ def _run_parallel(
                             watchdog=slot.point.watchdog,
                         )
                         results[idx] = result
-                        meter.step(slot.point.label())
+                        meter.step(
+                            slot.point.label(), instant=(payload["sims"] == 0)
+                        )
                     elif status == "deadlock":
                         fail(
                             idx, payload["message"], error="deadlock",
@@ -537,10 +615,19 @@ def _run_parallel(
                         fail(idx, payload)
                 elif not slot.proc.is_alive():
                     made_progress = True
-                    fail(idx, f"worker exited with code {slot.proc.exitcode}")
+                    fail(
+                        idx,
+                        f"worker exited with code {slot.proc.exitcode}",
+                        worker_reported=False,
+                    )
                 elif slot.deadline is not None and time.monotonic() > slot.deadline:
                     made_progress = True
-                    fail(idx, f"timed out after {timeout}s", error="timeout")
+                    fail(
+                        idx,
+                        f"timed out after {timeout}s",
+                        error="timeout",
+                        worker_reported=False,
+                    )
             if not made_progress:
                 time.sleep(0.02)
     finally:

@@ -18,11 +18,11 @@ intentionally modest — the benchmark records the ratio per entry.
 from __future__ import annotations
 
 import json
-import platform
-import sys
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
+
+from repro.obs import host_fingerprint
 
 #: Result schema version for BENCH_wallclock.json.
 BENCH_SCHEMA = 1
@@ -133,11 +133,9 @@ def run_mix(
     return {
         "schema": BENCH_SCHEMA,
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
-        "host": {
-            "python": sys.version.split()[0],
-            "implementation": platform.python_implementation(),
-            "machine": platform.machine(),
-        },
+        # Full host/python identity so the perf trajectory in
+        # BENCH_wallclock.json stays attributable across machines.
+        "host": host_fingerprint(),
         "repeats": repeats,
         "entries": entries,
         "aggregate": {

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple, Union
 
@@ -36,8 +37,9 @@ from repro.engine.checkpoint import (
 )
 from repro.faults import FaultPlan
 from repro.harness.params import app_params, init_signature
-from repro.harness.resultstore import STORE_SCHEMA, ResultStore
+from repro.harness.resultstore import STORE_SCHEMA, ResultStore, hash_key
 from repro.machine import Machine
+from repro.obs.heartbeat import heartbeat_dir
 
 
 @dataclass
@@ -237,6 +239,59 @@ def _workspan_store_key(app_name: str, scale: str, overrides: dict) -> dict:
     }
 
 
+def _classify_error(exc: BaseException) -> str:
+    """Ledger error kind for a simulation failure (mirrors grid labels)."""
+    from repro.engine.watchdog import DeadlockError
+    from repro.sanitize import SanitizerError
+
+    if isinstance(exc, DeadlockError):
+        return "deadlock"
+    if isinstance(exc, SanitizerError):
+        return "violation"
+    return "error"
+
+
+def _ledger_record(
+    outcome: str,
+    *,
+    app_name: str,
+    kind: str,
+    scale: str,
+    serial: bool,
+    wall_s: float,
+    store_key=None,
+    error=None,
+    message=None,
+    cycles=None,
+    seed=None,
+    robustness=None,
+    lineage=None,
+) -> None:
+    """Append one run-manifest line when a ledger is configured (no-op
+    otherwise — the ledger is strictly off by default)."""
+    from repro.obs.ledger import get_ledger
+
+    ledger = get_ledger()
+    if ledger is None:
+        return
+    ledger.record(
+        source="runner",
+        outcome=outcome,
+        app=app_name,
+        kind=kind,
+        scale=scale,
+        serial=bool(serial),
+        error=error,
+        message=message,
+        wall_s=wall_s,
+        cycles=cycles,
+        seed=seed,
+        robustness=robustness,
+        lineage=lineage,
+        store_key=hash_key(store_key) if store_key is not None else None,
+    )
+
+
 def run_experiment(
     app_name: str,
     kind: str,
@@ -282,8 +337,10 @@ def run_experiment(
     provenance lands in ``result.extras`` (``ckpt_*`` keys) and the store
     payload's ``lineage``.
     """
+    started = time.perf_counter()
     faults = FaultPlan.coerce(faults)
     ckpt = CheckpointConfig.coerce(checkpoint)
+    robustness = _robustness_dict(faults, sanitize, watchdog)
     traced = tracer is not None or sample_interval is not None
     if traced:
         use_cache = False
@@ -292,7 +349,14 @@ def run_experiment(
         config_overrides, faults, sanitize, watchdog,
     )
     if use_cache and key in _CACHE:
-        return _CACHE[key]
+        result = _CACHE[key]
+        _ledger_record(
+            "memo-hit",
+            app_name=app_name, kind=kind, scale=scale, serial=serial,
+            wall_s=time.perf_counter() - started,
+            cycles=result.cycles, robustness=robustness,
+        )
+        return result
 
     store = get_result_store() if use_cache else None
     store_key = None
@@ -308,8 +372,81 @@ def run_experiment(
 
             result = result_from_dict(payload["result"])
             _CACHE[key] = result
+            _ledger_record(
+                "store-hit",
+                app_name=app_name, kind=kind, scale=scale, serial=serial,
+                wall_s=time.perf_counter() - started, store_key=store_key,
+                cycles=result.cycles, robustness=robustness,
+                lineage=payload.get("lineage"),
+            )
             return result
 
+    # The uncached path runs in a helper so this wrapper can guarantee the
+    # observability postconditions on *every* exit: exactly one ledger
+    # line per call (success or failure) and a finalized heartbeat file.
+    ctx: dict = {}
+    try:
+        result = _simulate_experiment(
+            app_name, kind, scale, serial, check, use_cache,
+            app_overrides, runtime_kwargs, config_overrides,
+            tracer, sample_interval, faults, sanitize, watchdog,
+            ckpt, key, store, store_key, ctx,
+        )
+    except Exception as exc:
+        heartbeat = ctx.get("heartbeat")
+        if heartbeat is not None:
+            heartbeat.finalize("failed", error=repr(exc))
+        _ledger_record(
+            "failed",
+            app_name=app_name, kind=kind, scale=scale, serial=serial,
+            wall_s=time.perf_counter() - started, store_key=store_key,
+            error=_classify_error(exc),
+            message=(str(exc).splitlines() or [repr(exc)])[0],
+            seed=ctx.get("seed"), robustness=robustness,
+            lineage=ctx.get("lineage"),
+        )
+        raise
+    heartbeat = ctx.get("heartbeat")
+    if heartbeat is not None:
+        heartbeat.finalize("done")
+    _ledger_record(
+        "ok",
+        app_name=app_name, kind=kind, scale=scale, serial=serial,
+        wall_s=time.perf_counter() - started, store_key=store_key,
+        cycles=result.cycles, seed=ctx.get("seed"),
+        robustness=robustness, lineage=ctx.get("lineage"),
+    )
+    return result
+
+
+def _simulate_experiment(
+    app_name: str,
+    kind: str,
+    scale: str,
+    serial: bool,
+    check: bool,
+    use_cache: bool,
+    app_overrides: Optional[dict],
+    runtime_kwargs: Optional[dict],
+    config_overrides: Optional[dict],
+    tracer,
+    sample_interval: Optional[int],
+    faults,
+    sanitize: bool,
+    watchdog: Optional[int],
+    ckpt,
+    key,
+    store,
+    store_key,
+    ctx: dict,
+) -> ExperimentResult:
+    """The uncached simulation path of :func:`run_experiment`.
+
+    ``ctx`` is an out-channel for provenance the caller needs even when
+    this function raises mid-run: the machine seed, the checkpoint lineage
+    dict, and the heartbeat writer (the caller finalizes it — "done" or
+    "failed" — once the outcome is known).
+    """
     global _SIM_COUNT
     _SIM_COUNT += 1
     params = app_params(app_name, scale, **(app_overrides or {}))
@@ -319,11 +456,13 @@ def run_experiment(
         faults=faults,
         sanitize=sanitize,
     )
+    ctx["seed"] = machine.config.seed
     run_snapshots = ckpt is not None and ckpt.path is not None
     if run_snapshots:
         machine.enable_checkpointing()
 
     lineage = {"warm_start": False, "resumed_from_cycle": None, "snapshots_taken": 0}
+    ctx["lineage"] = lineage
     resume_snap = None
     if run_snapshots and ckpt.resume and os.path.exists(ckpt.path):
         resume_snap = load_snapshot(ckpt.path)
@@ -358,19 +497,34 @@ def run_experiment(
     if watchdog is not None:
         rt_kwargs["watchdog"] = watchdog
     runtime = WorkStealingRuntime(machine, **rt_kwargs)
+
+    heartbeat = None
+    hb_dir = heartbeat_dir()
+    if hb_dir:
+        from repro.obs.heartbeat import HeartbeatWriter
+
+        heartbeat = HeartbeatWriter.for_run(
+            machine, runtime, hb_dir,
+            meta={
+                "app": app_name,
+                "kind": kind,
+                "scale": scale,
+                "serial": bool(serial),
+            },
+        )
+        ctx["heartbeat"] = heartbeat
+
     sampler = None
     if sample_interval is not None:
+        from repro.obs.metrics import machine_metrics
         from repro.trace.sampler import IntervalSampler
         from repro.trace.tracer import NULL_TRACER
 
-        def sampled_stats():
-            snap = machine.stats.snapshot()
-            for category, n_bytes in machine.traffic.snapshot().items():
-                snap[f"traffic.{category}"] = n_bytes
-            return snap
-
+        # engine=False: event/fusion gauges differ between fused and
+        # unfused runs, and sampled traces must stay byte-identical.
         sampler = IntervalSampler(
-            machine.sim, sampled_stats, sample_interval,
+            machine.sim, machine_metrics(machine, engine=False).collect,
+            sample_interval,
             tracer=tracer if tracer is not None else NULL_TRACER,
         )
         if run_snapshots:
@@ -391,10 +545,16 @@ def run_experiment(
         lineage["resumed_from_cycle"] = resume_snap["cycle"]
         if daemon is not None:
             daemon.arm()
+        # Heartbeat starts after the restore so its daemon tick rides the
+        # restored event queue (restore rebuilds simulator state).
+        if heartbeat is not None:
+            heartbeat.start()
         cycles = runtime.resume_run()
     else:
         if daemon is not None:
             daemon.arm()
+        if heartbeat is not None:
+            heartbeat.start()
         cycles = runtime.run(app.make_root(serial=False))
     if daemon is not None:
         daemon.cancel()

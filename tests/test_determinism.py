@@ -54,6 +54,90 @@ def test_seed_changes_schedule_but_not_results():
     # ...but every run passed check() inside full_fingerprint.
 
 
+# ----------------------------------------------------------------------
+# Observability instruments must be invisible to the simulation
+# ----------------------------------------------------------------------
+#: app×config pairs for the instrument-transparency matrix (>= 3 pairs).
+OBS_MATRIX = [
+    ("bt-mesi", "cilk5-cs", dict(n=96, grain=32)),
+    ("bt-hcc-gwb", "ligra-bfs", dict(scale=5, grain=8)),
+    ("bt-hcc-dts-gwb", "cilk5-cs", dict(n=96, grain=32)),
+]
+
+
+def observed_fingerprint(kind, app_name, params, seed, instrument=None):
+    """Like :func:`full_fingerprint` but with a memory digest, and with an
+    optional ``instrument(machine, runtime)`` hook called before the run
+    (returning an optional ``finalize()`` callable for after it)."""
+    app = make_app(app_name, **params)
+    machine = Machine(make_config(kind, "tiny", seed=seed))
+    app.setup(machine)
+    rt = WorkStealingRuntime(machine)
+    finalize = instrument(machine, rt) if instrument is not None else None
+    cycles = rt.run(app.make_root())
+    if finalize is not None:
+        finalize()
+    app.check()
+    return (
+        cycles,
+        machine.total_instructions(),
+        rt.stats.get("steals"),
+        tuple(sorted(machine.traffic.snapshot().items())),
+        machine.memory_digest(machine.address_space.regions()),
+    )
+
+
+@pytest.mark.parametrize("kind,app_name,params", OBS_MATRIX)
+def test_heartbeat_runs_are_bit_identical_to_bare_runs(
+    kind, app_name, params, tmp_path
+):
+    """A heartbeat-instrumented run (daemon-event telemetry writing JSON
+    snapshots) is cycle- and memory-digest-identical to a bare run."""
+    from repro.obs import HeartbeatWriter
+
+    def instrument(machine, rt):
+        hb = HeartbeatWriter(
+            machine,
+            rt,
+            str(tmp_path / f"{kind}-{app_name}.json"),
+            interval=500,  # aggressive cadence: many daemon ticks per run
+            min_wall_s=0.0,  # write every beat, never throttle
+        )
+        hb.start()
+        return lambda: hb.finalize("done")
+
+    bare = observed_fingerprint(kind, app_name, params, seed=42)
+    beating = observed_fingerprint(kind, app_name, params, seed=42, instrument=instrument)
+    assert bare == beating
+    # The instrument genuinely ran: the snapshot file exists and beat often.
+    import json
+
+    snap = json.loads((tmp_path / f"{kind}-{app_name}.json").read_text())
+    assert snap["status"] == "done"
+    assert snap["beats"] >= 2
+    assert snap["cycle"] == bare[0]
+
+
+@pytest.mark.parametrize("kind,app_name,params", OBS_MATRIX)
+def test_profiled_runs_are_bit_identical_to_bare_runs(kind, app_name, params):
+    """An engine-profiled run (wall-clock attribution probes in _resume and
+    wrapped memory/NoC methods) is cycle- and digest-identical to bare."""
+    from repro.obs import EngineProfiler
+
+    profilers = []
+
+    def instrument(machine, rt):
+        profilers.append(EngineProfiler().install(machine))
+        return None
+
+    bare = observed_fingerprint(kind, app_name, params, seed=42)
+    profiled = observed_fingerprint(kind, app_name, params, seed=42, instrument=instrument)
+    assert bare == profiled
+    # The profiler genuinely measured: it charged wall time somewhere.
+    attribution = profilers[0].attribution()
+    assert attribution["measured_wall_s"] > 0
+
+
 def test_workspan_analysis_deterministic():
     from repro.analysis import CilkviewAnalyzer
 
