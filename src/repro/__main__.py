@@ -98,7 +98,7 @@ def _cmd_run(args) -> int:
         args.app, args.config, args.scale, serial=args.serial,
         tracer=tracer, sample_interval=sample_interval,
         faults=args.faults, sanitize=args.sanitize, watchdog=args.watchdog,
-        checkpoint=checkpoint,
+        checkpoint=checkpoint, sampling=args.sample,
     )
     if tracer is not None:
         from repro.trace import export_chrome_trace
@@ -115,6 +115,25 @@ def _cmd_run(args) -> int:
         return 0
     print(f"app            : {result.app}")
     print(f"config         : {result.kind} @ {result.scale}")
+    if result.sampling is not None:
+        s = result.sampling
+        if s.get("exact_fallback"):
+            print("mode           : sampled (run ended in the initial "
+                  "warmup; statistics are exact)")
+        else:
+            spec = s.get("spec", {})
+            spec_str = ":".join(
+                str(spec.get(k, "?"))
+                for k in ("interval", "warmup", "window")
+            )
+            ci = s.get("cycles_ci95_pct")
+            print(f"mode           : sampled (spec {spec_str}, "
+                  f"{s.get('windows', 0)} windows, "
+                  f"coverage {100 * s.get('coverage', 1.0):.1f}%"
+                  + (f", cycles CI95 ±{ci:.1f}%" if ci is not None else "")
+                  + ")")
+            print("                 cycles/traffic/energy below are "
+                  "extrapolated estimates")
     print(f"cycles         : {result.cycles}")
     print(f"instructions   : {result.instructions}")
     print(f"tasks/spawns   : {result.tasks}/{result.spawns}")
@@ -216,23 +235,84 @@ def _cmd_fig(args) -> int:
 def _cmd_perf(args) -> int:
     from repro.harness.perf import (
         DEFAULT_MIX,
+        SAMPLED_MIX,
         SMOKE_MIX,
+        SMOKE_SAMPLED_MIX,
+        compare_baseline,
+        format_baseline_report,
         format_report,
+        format_sampled_report,
+        read_bench,
         run_mix,
+        run_sampled_mix,
         write_bench,
     )
 
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = read_bench(args.baseline)
+        except OSError as exc:
+            print(f"repro perf: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
     mix = SMOKE_MIX if args.smoke else DEFAULT_MIX
     payload = run_mix(list(mix), repeats=args.repeats)
+    if args.sampled:
+        sampled_mix = SMOKE_SAMPLED_MIX if args.smoke else SAMPLED_MIX
+        payload["sampled"] = run_sampled_mix(list(sampled_mix), repeats=1)
     print(format_report(payload))
+    if args.sampled:
+        print()
+        print(format_sampled_report(payload["sampled"]))
     if args.out:
         write_bench(payload, args.out)
         print(f"\nbench written  : {args.out}", file=sys.stderr)
+    code = 0
+    if baseline is not None:
+        report = compare_baseline(payload, baseline, tolerance=args.tolerance)
+        print()
+        print(format_baseline_report(report))
+        if not report["ok"]:
+            code = 1
     speedup = payload["aggregate"]["speedup"]
     if args.min_speedup is not None and speedup < args.min_speedup:
         print(
             f"FAIL: mix speedup {speedup:.2f}x below required "
             f"{args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        code = 1
+    return code
+
+
+def _cmd_sample(args) -> int:
+    from repro.sampling.differential import (
+        DEFAULT_VALIDATION_MIX,
+        DEFAULT_VALIDATION_SPEC,
+        format_validation,
+        validate_mix,
+    )
+
+    if args.app:
+        mix = [(args.app, args.config, args.scale)]
+    else:
+        mix = list(DEFAULT_VALIDATION_MIX)
+    spec = args.spec or DEFAULT_VALIDATION_SPEC
+    payload = validate_mix(mix, spec=spec)
+    if args.json:
+        import json
+
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(format_validation(payload))
+    worst = max(
+        payload["aggregate"]["cycles_error"]["max"],
+        payload["aggregate"]["traffic_error"]["max"],
+    )
+    if args.max_error is not None and 100.0 * worst > args.max_error:
+        print(
+            f"FAIL: worst cycles/traffic error {100 * worst:.2f}% exceeds "
+            f"--max-error {args.max_error:.2f}%",
             file=sys.stderr,
         )
         return 1
@@ -453,6 +533,13 @@ def main(argv=None) -> int:
                             help="warm-start: reuse (or create) per-app init "
                                  "snapshots in DIR, skipping the serial setup "
                                  "phase on later runs")
+    run_parser.add_argument("--sample", default=None, metavar="U:W:D[:Q]",
+                            help="periodic-sampling mode: fast-forward U "
+                                 "instructions between detailed windows of W "
+                                 "warmup + D measured instructions; cycles/"
+                                 "traffic/energy become extrapolated estimates "
+                                 "(sampled results get their own cache/store "
+                                 "keys and never mix with exact ones)")
 
     trace_parser = sub.add_parser(
         "trace",
@@ -588,6 +675,44 @@ def main(argv=None) -> int:
         "--min-speedup", type=float, default=None, metavar="X",
         help="exit non-zero if the mix-aggregate fused/unfused speedup "
              "falls below X")
+    perf_parser.add_argument(
+        "--sampled", action="store_true",
+        help="also benchmark the exact-vs-sampled pairs (repro.sampling) "
+             "and record them in the payload's 'sampled' section")
+    perf_parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="compare against a committed BENCH_wallclock.json and exit "
+             "non-zero on any regression beyond --tolerance")
+    perf_parser.add_argument(
+        "--tolerance", type=float, default=0.15, metavar="FRAC",
+        help="allowed fractional drop per metric for --baseline "
+             "(default: 0.15)")
+
+    sample_parser = sub.add_parser(
+        "sample",
+        help="differentially validate sampled simulation against exact "
+             "runs (cycles/traffic error per app) on affordable scales",
+        parents=[harness_flags])
+    sample_parser.add_argument(
+        "--app", type=_app_arg, default=None, metavar="APP",
+        help="validate a single app instead of the default validation mix")
+    sample_parser.add_argument(
+        "--config", "--kind", dest="config", type=_kind_arg,
+        default="bt-hcc-dts-dnv", metavar="KIND",
+        help="configuration for --app (default: bt-hcc-dts-dnv)")
+    sample_parser.add_argument(
+        "--scale", default="paper", choices=sorted(SCALES),
+        help="scale for --app (default: paper)")
+    sample_parser.add_argument(
+        "--spec", default=None, metavar="U:W:D[:Q[:S]]",
+        help="sampling spec to validate (default: the qualified "
+             "validation spec)")
+    sample_parser.add_argument(
+        "--max-error", type=float, default=None, metavar="PCT",
+        help="exit non-zero if the worst cycles/traffic error exceeds PCT")
+    sample_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the full validation payload as JSON")
 
     top_parser = sub.add_parser(
         "top",
@@ -650,6 +775,7 @@ def main(argv=None) -> int:
         "fig": _cmd_fig,
         "workspan": _cmd_workspan,
         "perf": _cmd_perf,
+        "sample": _cmd_sample,
         "fuzz": _cmd_fuzz,
         "verify": _cmd_verify,
         "checkpoint": _cmd_checkpoint,

@@ -233,6 +233,13 @@ class WorkStealingRuntime:
     # Task execution
     # ------------------------------------------------------------------
     def _run_task(self, ctx, task: Task):
+        # Task bodies and their fixed per-task bookkeeping are *work*: the
+        # instruction counts here are invariant across schedules, unlike
+        # the hunting/polling loops around them whose iteration counts
+        # scale with wait durations (see Core.spinning).
+        core = ctx.core
+        spin_prev = core.spinning
+        core.spinning = False
         self.stats.add("tasks_executed")
         self.progress += 1
         if self._tracing:
@@ -245,6 +252,7 @@ class WorkStealingRuntime:
             yield from ctx.load(task.arg_addr(i))
         yield from ctx.work(TASK_START_OVERHEAD)
         yield from task.execute(self, ctx)
+        core.spinning = spin_prev
         if self._tracing:
             self.tracer.task_end(ctx.tid, self.machine.sim.now)
 
@@ -332,11 +340,14 @@ class WorkStealingRuntime:
         return True
 
     def _wait_hw(self, ctx, parent: Task):
+        core = ctx.core
+        core.spinning = True
         while True:
             if self._tracing:
                 self.tracer.core_state(ctx.tid, self.machine.sim.now, "waiting")
             rc = yield from ctx.load(parent.rc_addr)
             if rc <= 0:
+                core.spinning = False
                 return
             executed = yield from self._poll_local_hw(ctx)
             if not executed:
@@ -405,6 +416,8 @@ class WorkStealingRuntime:
         return True
 
     def _wait_hcc(self, ctx, parent: Task):
+        core = ctx.core
+        core.spinning = True
         while True:
             if self._tracing:
                 self.tracer.core_state(ctx.tid, self.machine.sim.now, "waiting")
@@ -414,6 +427,7 @@ class WorkStealingRuntime:
             executed = yield from self._poll_local_hcc(ctx)
             if not executed:
                 yield from self._steal_hcc(ctx)
+        core.spinning = False
         # A child may have been stolen and executed remotely: invalidate so
         # the parent sees its children's writes (DAG consistency, req. 2).
         if self.break_coherence != "no-parent-invalidate":
@@ -484,6 +498,8 @@ class WorkStealingRuntime:
         return True
 
     def _wait_dts(self, ctx, parent: Task):
+        core = ctx.core
+        core.spinning = True
         if self._tracing:
             self.tracer.core_state(ctx.tid, self.machine.sim.now, "waiting")
         rc = yield from ctx.load(parent.rc_addr)
@@ -501,6 +517,7 @@ class WorkStealingRuntime:
                 rc = yield from ctx.amo_or(parent.rc_addr, 0)
             else:
                 rc = yield from ctx.load(parent.rc_addr)
+        core.spinning = False
         if self.dts_elide_parent_sync:
             hsc = yield from ctx.load(parent.hsc_addr)
         else:
@@ -521,6 +538,11 @@ class WorkStealingRuntime:
         dq = self.deques[victim_tid]
 
         def handler(thief_core_id: int):
+            # Handler runs scale with steal-attempt arrivals (timing), so
+            # their instructions are spin for the sampling estimator.
+            core = ctx.core
+            spin_prev = core.spinning
+            core.spinning = True
             self.stats.add("uli_handler_runs")
             if self.handler_steals_tail:
                 task_id = yield from dq.dequeue_tail(ctx)
@@ -536,6 +558,7 @@ class WorkStealingRuntime:
                 yield from ctx.amo("xchg", self._mailboxes[thief_core_id], task_id)
                 yield from ctx.cache_flush()
                 self.stats.add("uli_tasks_exported")
+            core.spinning = spin_prev
 
         return handler
 
@@ -561,12 +584,14 @@ class WorkStealingRuntime:
         }[self.variant]
         if self.variant == "dts":
             yield from ctx.uli_enable()
+        ctx.core.spinning = True
         while not self.done:
             if self._tracing:
                 self.tracer.core_state(ctx.tid, self.machine.sim.now, "waiting")
             executed = yield from poll(ctx)
             if not executed and not self.done:
                 yield from steal(ctx)
+        ctx.core.spinning = False
 
     def run(self, root: Task, main_tid: int = 0) -> int:
         """Execute ``root`` to completion; returns elapsed cycles."""

@@ -46,7 +46,11 @@ from typing import Optional
 #:    Lineage is payload-only by design: a warm-started or resumed run is
 #:    byte-identical to a cold one, so either must satisfy the other's
 #:    probes.
-STORE_SCHEMA = 3
+#: 4: experiment keys gained "mode" (exact vs sampled plus the sampling
+#:    spec; see repro.sampling).  A sampled result carries *estimated*
+#:    cycles/traffic, so it must never satisfy a probe for an exact run —
+#:    the firewall is the key itself.
+STORE_SCHEMA = 4
 
 #: A default-repr containing a memory address: never stable across runs.
 _ADDRESS_REPR = re.compile(r" at 0x[0-9a-fA-F]+>")

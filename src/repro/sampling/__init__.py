@@ -1,0 +1,46 @@
+"""Periodic-sampling simulation (SMARTS-style fast-forward + windows).
+
+A sampled run alternates functional fast-forward (architectural state
+exact, timing skipped — ``Core._resume_ff``) with detailed warmup and
+measurement windows run by the unchanged fused engine, then extrapolates
+per-window rates to full-run estimates with confidence intervals.
+
+Entry points:
+
+* ``run_experiment(..., sampling="U:W:D")`` / ``repro run --sample U:W:D``
+* :class:`SamplingSpec` — the parsed ``U:W:D[:Q]`` knob
+* :class:`SamplingController` — phase machine driven by daemon events
+* :func:`validate_mix` — differential exact-vs-sampled error harness
+
+Sampled results are firewalled from exact ones end to end: ``mode`` and
+the spec enter the memo key, the store key (STORE_SCHEMA bump), the run
+ledger, and `repro report` accounting.
+"""
+
+from repro.sampling.controller import SamplingController
+from repro.sampling.differential import (
+    DEFAULT_VALIDATION_MIX,
+    DEFAULT_VALIDATION_SPEC,
+    format_validation,
+    validate_entry,
+    validate_mix,
+)
+from repro.sampling.estimate import extrapolate, mean_ci, t95
+from repro.sampling.ff import FastForwardState
+from repro.sampling.spec import DEFAULT_QUANTUM, SamplingError, SamplingSpec
+
+__all__ = [
+    "DEFAULT_QUANTUM",
+    "DEFAULT_VALIDATION_MIX",
+    "DEFAULT_VALIDATION_SPEC",
+    "FastForwardState",
+    "SamplingController",
+    "SamplingError",
+    "SamplingSpec",
+    "extrapolate",
+    "format_validation",
+    "mean_ci",
+    "t95",
+    "validate_entry",
+    "validate_mix",
+]

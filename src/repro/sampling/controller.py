@@ -1,0 +1,303 @@
+"""Phase controller for periodic-sampling runs.
+
+Drives the warmup → measure → fast-forward cycle with daemon events (which
+can never perturb the simulation's outcome — they only bound event fusion
+at phase edges, exactly as required for accurate window accounting).
+
+Every phase is bounded in *instructions*, never cycles.  This is the
+SMARTS discipline, and it matters: task-parallel runs oscillate between
+instruction-dense bursts and spin-heavy stalls, so any cycle-bounded
+phase placed after an instruction-bounded fast-forward period phase-locks
+onto the oscillation (the fast-forward budget exhausts inside bursts, a
+fixed-cycle warmup then carries the window start into the following
+stall), and the windows systematically oversample low-IPC spans.  Keeping
+warmup and window in instruction space means window placement is periodic
+in instruction space end to end, which is exactly the sampling design
+under which instruction-weighted ratio estimates are unbiased (see
+``repro.sampling.estimate``).  The fast-forward budget additionally gets
+a deterministic ±25% jitter per period so placement cannot alias with
+instruction-periodic program structure (uniform parallel_for chunks).
+
+* ``start()`` (before the first event) arms the initial warmup; the run
+  always begins detailed so startup behaviour anchors the estimate.
+* Instruction targets are tracked by an adaptive daemon check: with
+  ``r`` instructions remaining and at most one instruction per core per
+  cycle, the target is unreachable for another ``ceil(r / n_cores)``
+  cycles, so the check re-arms exactly that far ahead — overshoot-free
+  placement with O(log) checks per phase, no rate estimation.
+* ``_begin_window`` snapshots cumulative statistics; after ``D``
+  instructions ``_end_window`` records the deltas, reconciles the cache
+  hierarchy with flat memory — L1s dropped, L2 kept warm as clean
+  copies (:meth:`repro.machine.Machine.prepare_fastforward`) — and arms
+  fast-forward on every core by setting ``Core._ff``.
+* The fast-forward slice that exhausts the jittered ``U``-instruction
+  budget fires :meth:`_exit_fastforward` synchronously — cores are
+  disarmed, stale L2 copies of the lines fast-forward wrote are purged
+  (:meth:`repro.machine.Machine.invalidate_ff_lines`), and the next
+  warmup of ``W`` instructions begins against cold L1s / warm L2.
+* ``finalize()`` (after the run) closes a partially complete window so
+  short tails still contribute.
+
+The sampled run is a *valid* execution of the program — deterministic for
+a given seed and spec, and ``app.check()`` passes on its end state — but
+it is a different legal schedule than the exact run (steal timing shifts
+during fast-forward), which is why validation compares statistics, never
+event streams.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from collections import defaultdict
+
+from repro.analysis.energy import energy_counts
+from repro.sampling.estimate import extrapolate
+from repro.sampling.ff import COST_KINDS, FastForwardState
+from repro.sampling.spec import SamplingError, SamplingSpec
+
+#: Per-core cycle categories that represent a running core doing work —
+#: the basis of the fast-forward calibration.  ``idle`` and ``uli`` are
+#: excluded: fast-forward already models idle backoff and ULI waits with
+#: their real latencies, so folding them into the charges would
+#: double-count them.
+_BUSY_CATEGORIES = ("compute", "load", "store", "amo", "flush", "invalidate")
+
+
+class SamplingController:
+    """Owns the sampling schedule and window records for one run."""
+
+    def __init__(self, machine, spec: SamplingSpec):
+        if machine._ckpt_log is not None:
+            raise SamplingError(
+                "sampled runs cannot be checkpointed: fast-forward slices "
+                "advance many ops per event, so the send log cannot be cut "
+                "at an event boundary"
+            )
+        self.machine = machine
+        self.sim = machine.sim
+        self.spec = spec
+        #: Completed measurement-window delta records (see _close_window).
+        self.windows: List[dict] = []
+        #: Fast-forward gap records: instructions executed, pseudo-cycles
+        #: elapsed, and the indices of the neighbouring windows whose
+        #: rates estimate the gap's real duration.
+        self.gaps: List[dict] = []
+        self.ff_instructions = 0
+        #: Final simulator clock (real + pseudo), captured by finalize().
+        self.end_cycle: Optional[int] = None
+        #: Current phase: idle | warmup | measure | fastforward | done.
+        self.phase = "idle"
+        self._window_start: Optional[dict] = None
+        self._gap: Optional[dict] = None
+        self._ff: Optional[FastForwardState] = None
+        self._n_cores = max(1, len(machine.cores))
+        self._period_index = 0
+        self._target: Optional[int] = None
+        self._on_target = None
+        machine.sampling = self
+
+    # ------------------------------------------------------------------
+    # Phase machine
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm the initial warmup; must be called before the first event."""
+        if self.sim.now != 0 or self.sim.events_executed or self.sim.events_fused:
+            raise SamplingError("SamplingController.start() must precede the run")
+        self.phase = "warmup"
+        self._arm(self.spec.warmup, self._begin_window)
+
+    def _arm(self, instructions: int, action) -> None:
+        """Fire ``action`` once ``instructions`` more have executed."""
+        self._target = self.machine.total_instructions() + instructions
+        self._on_target = action
+        self._check_target()
+
+    def _check_target(self) -> None:
+        remaining = self._target - self.machine.total_instructions()
+        if remaining <= 0:
+            action = self._on_target
+            self._target = None
+            self._on_target = None
+            action()
+            return
+        # One instruction per core per cycle is the machine's hard ceiling,
+        # so the target cannot be crossed sooner than this; re-check then.
+        delay = -(-remaining // self._n_cores)
+        self.sim.schedule(delay, self._check_target, daemon=True)
+
+    def _gap_budget(self) -> int:
+        """Jittered fast-forward budget for the next period.
+
+        A fixed 32-bit LCG step keyed by the period index gives a
+        deterministic uniform ±25% jitter around ``U`` — identical for
+        every run of the same spec, but aperiodic enough that window
+        placement cannot alias with instruction-periodic program
+        structure.
+        """
+        idx = self._period_index
+        self._period_index += 1
+        r = ((idx * 2654435761 + 1013904223) & 0xFFFFFFFF) / 2.0**32
+        return max(1, int(round(self.spec.interval * (0.75 + 0.5 * r))))
+
+    def _snapshot(self) -> dict:
+        machine = self.machine
+        return {
+            "cycle": self.sim.now,
+            "instructions": machine.total_instructions(),
+            "stats": machine.stats.flatten(),
+            "traffic": dict(machine.traffic.bytes),
+            "energy": energy_counts(machine),
+        }
+
+    def _begin_window(self) -> None:
+        self.phase = "measure"
+        self._window_start = self._snapshot()
+        self._arm(self.spec.window, self._end_window)
+
+    def _end_window(self) -> None:
+        self._close_window()
+        self._enter_fastforward()
+
+    def _close_window(self) -> None:
+        start = self._window_start
+        if start is None:
+            return
+        self._window_start = None
+        end = self._snapshot()
+        cycles = end["cycle"] - start["cycle"]
+        instructions = end["instructions"] - start["instructions"]
+        if cycles <= 0 or instructions <= 0:
+            return
+        start_stats = start["stats"]
+        start_traffic = start["traffic"]
+        start_energy = start["energy"]
+        stats_delta = {
+            k: v - start_stats.get(k, 0)
+            for k, v in end["stats"].items()
+            if v != start_stats.get(k, 0)
+        }
+        # Calibrate the next fast-forward period's pseudo-time from this
+        # window: per-op-kind average latencies (cycles_load / ops_load,
+        # ...) so the steal protocol's contended AMOs and mailbox loads
+        # keep their detailed cost relative to work, plus the blended
+        # busy CPI used only to size fast-forward slices (see
+        # FastForwardState).
+        cyc = defaultdict(float)
+        ops = defaultdict(int)
+        spin = 0
+        for k, v in stats_delta.items():
+            if not k.startswith("machine.core_"):
+                continue
+            leaf = k.rpartition(".")[2]
+            if leaf.startswith("cycles_"):
+                cyc[leaf[7:]] += v
+            elif leaf.startswith("ops_"):
+                ops[leaf[4:]] += v
+            elif leaf == "instructions_spin":
+                spin += v
+        busy = sum(cyc[cat] for cat in _BUSY_CATEGORIES)
+        self.windows.append(
+            {
+                "cycles": cycles,
+                "instructions": instructions,
+                # Timing-invariant share of the window's instructions: what
+                # the estimator extrapolates along (repro.sampling.estimate).
+                "work_instructions": max(0, instructions - spin),
+                "busy_cpi": busy / instructions,
+                "ff_costs": {
+                    kind: cyc[kind] / ops[kind] if ops.get(kind) else 1.0
+                    for kind in COST_KINDS
+                },
+                "stats": stats_delta,
+                "traffic": {
+                    k: v - start_traffic.get(k, 0) for k, v in end["traffic"].items()
+                },
+                "energy": {
+                    k: v - start_energy.get(k, 0) for k, v in end["energy"].items()
+                },
+            }
+        )
+
+    def _enter_fastforward(self) -> None:
+        machine = self.machine
+        machine.prepare_fastforward()
+        self.phase = "fastforward"
+        self._gap = {
+            # Index of the window preceding this gap (None when it was
+            # discarded as degenerate) and of the next one to complete.
+            "before_idx": len(self.windows) - 1 if self.windows else None,
+            "after_idx": len(self.windows),
+            "enter_cycle": self.sim.now,
+        }
+        last = self.windows[-1] if self.windows else None
+        ff = FastForwardState(
+            machine.memory,
+            budget=self._gap_budget(),
+            quantum=self.spec.quantum,
+            cpi=last["busy_cpi"] if last else 1.0,
+            costs=last["ff_costs"] if last else None,
+            on_exhausted=self._exit_fastforward,
+            stretch=self.spec.stretch,
+        )
+        self._ff = ff
+        for core in machine.cores:
+            core._ff = ff
+
+    def _close_gap(self, ff: FastForwardState) -> None:
+        self.machine.invalidate_ff_lines(ff.written)
+        gap = self._gap
+        self._gap = None
+        self.ff_instructions += ff.consumed
+        if ff.consumed <= 0:
+            return
+        gap["ff_instr"] = ff.consumed
+        gap["pseudo_cycles"] = self.sim.now - gap.pop("enter_cycle")
+        self.gaps.append(gap)
+
+    def _exit_fastforward(self, ff: FastForwardState) -> None:
+        # Fired synchronously from the slice that crossed the budget; the
+        # parked slice continuations then resume in detailed mode.
+        self._ff = None
+        for core in self.machine.cores:
+            core._ff = None
+        self._close_gap(ff)
+        self.phase = "warmup"
+        self._arm(self.spec.warmup, self._begin_window)
+
+    # ------------------------------------------------------------------
+    # End of run
+    # ------------------------------------------------------------------
+    def finalize(self) -> None:
+        """Close out the run: disarm fast-forward, keep partial records."""
+        if self._ff is not None:
+            ff = self._ff
+            self._ff = None
+            for core in self.machine.cores:
+                core._ff = None
+            self._close_gap(ff)
+        self._close_window()
+        self.end_cycle = self.sim.now
+        self.phase = "done"
+
+    def estimates(self) -> Optional[dict]:
+        """Full-run estimates (None: run never left the initial warmup)."""
+        if self.end_cycle is None:
+            self.finalize()
+        return extrapolate(
+            self.machine, self.spec, self.windows, self.gaps, self.end_cycle
+        )
+
+    def progress(self) -> dict:
+        """Small introspection dict for heartbeats / `repro top`."""
+        out = {
+            "spec": self.spec.spec_str(),
+            "phase": self.phase,
+            "windows": len(self.windows),
+            "ff_periods": len(self.gaps),
+            "ff_instructions": self.ff_instructions,
+        }
+        if self._ff is not None:
+            out["ff_consumed"] = self._ff.consumed
+            out["ff_budget"] = self._ff.budget
+        return out

@@ -1,0 +1,155 @@
+"""Differential validation: sampled estimates vs exact runs.
+
+On scales where exact simulation is affordable, run each entry twice —
+once exact, once sampled with the given spec — and report the estimation
+error per statistic plus the wall-clock speedup.  This is the harness
+behind the acceptance bar (cycles/traffic error <= 5% on validation
+scales) and the CI ``sample-smoke`` job.
+
+Both runs go through :func:`repro.harness.runner.run_experiment` with
+caching disabled, so the comparison exercises the exact production path
+(including the mode firewall in the store key).  The sampled run is a
+different legal schedule of the same program — steal timing shifts during
+fast-forward — so architectural counts that depend on the schedule (task
+count is fixed, steal count is not) are reported but not error-bounded;
+the bounded quantities are the *estimated* rates: cycles and traffic.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sampling.spec import SamplingSpec
+
+#: (app, kind, scale) entries where sampling is *accurate*: exact runs
+#: are still affordable, the run is long enough for >= 7 measurement
+#: windows at the default spec (window variance is the dominant error
+#: source below ~5 windows), and the app's phase behaviour is gradual
+#: enough that per-window calibration tracks it.  These are the entries
+#: the 5% acceptance bar is enforced on — and deliberately *only* these:
+#: traversal apps whose per-round cost collapses (ligra-cc, ligra-tc)
+#: and steal-storm microbenchmarks (cilk5-cs) exceed the bar at every
+#: spec we tried, as do the write-through/MESI configs whose traffic is
+#: dominated by rare bursty flush storms the windows undersample.  Those
+#: stay exact-only; see DESIGN.md §10 ("Where sampling is allowed").
+DEFAULT_VALIDATION_MIX: Tuple[Tuple[str, str, str], ...] = (
+    ("ligra-bc", "bt-hcc-dnv", "paper"),
+    ("ligra-bfs", "bt-hcc-dnv", "paper"),
+)
+
+#: Default spec for validation runs.  The warmup is deliberately long
+#: relative to the window: entering a detailed phase from fast-forward
+#: the L1s are cold (the L2 stays warm — Machine.prepare_fastforward),
+#: and under-warmed windows read as systematic CPI overestimates for
+#: cache-resident apps.  Short fast-forward periods bound the schedule
+#: divergence each period can accumulate (see DESIGN.md §10).
+DEFAULT_VALIDATION_SPEC = "40000:16000:4000"
+
+
+def _rel_err(estimate: float, exact: float) -> float:
+    if exact == 0:
+        return 0.0 if estimate == 0 else float("inf")
+    return abs(estimate - exact) / abs(exact)
+
+
+def validate_entry(
+    app: str,
+    kind: str,
+    scale: str,
+    spec: SamplingSpec,
+    app_overrides: Optional[dict] = None,
+) -> Dict:
+    """Run one entry exact and sampled; return per-stat errors."""
+    from repro.harness.runner import run_experiment
+
+    t0 = time.perf_counter()
+    exact = run_experiment(
+        app, kind, scale, use_cache=False, app_overrides=app_overrides
+    )
+    wall_exact = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    sampled = run_experiment(
+        app, kind, scale, use_cache=False, app_overrides=app_overrides,
+        sampling=spec,
+    )
+    wall_sampled = time.perf_counter() - t0
+    return {
+        "app": app,
+        "kind": kind,
+        "scale": scale,
+        "exact_cycles": exact.cycles,
+        "sampled_cycles": sampled.cycles,
+        "cycles_error": _rel_err(sampled.cycles, exact.cycles),
+        "traffic_error": _rel_err(sampled.total_traffic, exact.total_traffic),
+        "l1_hit_rate_error": _rel_err(
+            sampled.l1_hit_rate_tiny, exact.l1_hit_rate_tiny
+        ),
+        "instructions_drift": _rel_err(sampled.instructions, exact.instructions),
+        "tasks_identical": sampled.tasks == exact.tasks,
+        "wall_exact_s": wall_exact,
+        "wall_sampled_s": wall_sampled,
+        "speedup": wall_exact / wall_sampled if wall_sampled > 0 else 0.0,
+        "sampling": sampled.sampling,
+    }
+
+
+def validate_mix(
+    mix: Optional[Sequence[Tuple[str, str, str]]] = None,
+    spec=DEFAULT_VALIDATION_SPEC,
+    app_overrides: Optional[dict] = None,
+) -> Dict:
+    """Validate a mix of entries; return errors plus their distribution."""
+    spec = SamplingSpec.coerce(spec)
+    entries = [
+        validate_entry(app, kind, scale, spec, app_overrides=app_overrides)
+        for app, kind, scale in (mix or DEFAULT_VALIDATION_MIX)
+    ]
+    cycle_errors = [e["cycles_error"] for e in entries]
+    traffic_errors = [e["traffic_error"] for e in entries]
+
+    def _dist(errors: List[float]) -> Dict[str, float]:
+        ordered = sorted(errors)
+        return {
+            "mean": sum(ordered) / len(ordered),
+            "max": ordered[-1],
+            "p50": ordered[len(ordered) // 2],
+        }
+
+    wall_exact = sum(e["wall_exact_s"] for e in entries)
+    wall_sampled = sum(e["wall_sampled_s"] for e in entries)
+    return {
+        "spec": spec.as_dict(),
+        "entries": entries,
+        "aggregate": {
+            "cycles_error": _dist(cycle_errors),
+            "traffic_error": _dist(traffic_errors),
+            "wall_exact_s": wall_exact,
+            "wall_sampled_s": wall_sampled,
+            "speedup": wall_exact / wall_sampled if wall_sampled > 0 else 0.0,
+        },
+    }
+
+
+def format_validation(payload: Dict) -> str:
+    """Human-readable error table for the CLI / CI logs."""
+    lines = [
+        f"{'app':<12} {'config':<16} {'scale':<6} {'cyc err':>8} "
+        f"{'tfc err':>8} {'windows':>8} {'speedup':>8}"
+    ]
+    for e in payload["entries"]:
+        windows = (e.get("sampling") or {}).get("windows", 0)
+        lines.append(
+            f"{e['app']:<12} {e['kind']:<16} {e['scale']:<6} "
+            f"{100 * e['cycles_error']:>7.2f}% {100 * e['traffic_error']:>7.2f}% "
+            f"{windows:>8} {e['speedup']:>7.2f}x"
+        )
+    agg = payload["aggregate"]
+    lines.append(
+        f"-- mix: cycles err mean {100 * agg['cycles_error']['mean']:.2f}% "
+        f"max {100 * agg['cycles_error']['max']:.2f}%, traffic err mean "
+        f"{100 * agg['traffic_error']['mean']:.2f}% max "
+        f"{100 * agg['traffic_error']['max']:.2f}%, speedup "
+        f"{agg['speedup']:.2f}x"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,257 @@
+"""Extrapolate full-run statistics from detailed measurement windows.
+
+SMARTS-style ratio estimation over a *work-instruction* measure.  The
+controller places measurement windows periodically (with jitter) in
+instruction space and bounds each window at ``D`` machine-wide
+instructions; for any counter ``X`` the full-run estimate is the
+ratio-of-sums
+
+    X_est = G_total x (sum_k X_k / sum_k g_k)
+
+where ``g_k`` is the window's **work instructions** — instructions
+retired outside the runtime's scheduler-spin loops (hunt/steal/join
+polling, ULI handlers, worker idle loops; tagged via ``Core.spinning``)
+— and ``G_total`` the exact full-run work-instruction count.
+
+Why the work measure and not raw instructions: the sampled run is a
+different legal schedule, and the *spin* portion of its instruction
+stream is not timing-invariant — spin loops retire instructions for as
+long as the condition they poll stays false, so their counts scale with
+wait durations, which fast-forward distorts.  Extrapolating along raw
+instructions multiplies an accurate per-instruction rate by a drifted
+total (observed: signed cycle error tracked signed instruction drift
+almost exactly, app by app).  Work instructions — task bodies plus the
+fixed per-task bookkeeping (spawn, descriptor init, join decrements) —
+are a property of the *program*, not the schedule: both runs retire the
+same work, so ``G_total`` is exact and drift cancels.  Spin cycles are
+still charged — a window's cycles include everything that happened
+while its work retired; they are just charged *per unit of work* rather
+than per spin iteration.
+
+Windows are instruction-bounded (never cycle-bounded) for the classic
+SMARTS reason: task-parallel runs oscillate between instruction-dense
+bursts and spin-heavy stalls, and cycle-bounded windows force a choice
+between the harmonic (Jensen-biased) ratio and an unbounded-variance
+mean-of-CPIs.  Instruction-bounded windows dissolve both horns and
+cannot phase-lock onto the oscillation (see the controller docstring).
+Under the work measure window weights ``g_k`` are *unequal* (spin share
+varies), so confidence intervals use the delete-one jackknife on the
+ratio-of-sums rather than the unweighted t-interval.
+
+What is exact vs estimated in a sampled result:
+
+* **exact** — instructions, tasks, spawns, steals, steal attempts, ULI
+  handler runs and NACK counts (all architectural, counted during
+  fast-forward too), plus the end-state memory contents ``app.check()``
+  verifies.
+* **estimated** — cycles, traffic bytes, L1 hit rate and
+  invalidation/flush/AMO counts, the cycle breakdown, handler cycles,
+  and energy.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.energy import energy_from_counts
+
+#: Two-sided 95% Student-t critical values by degrees of freedom.
+_T95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+    11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+    16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093, 20: 2.086,
+    25: 2.060, 30: 2.042, 40: 2.021, 60: 2.000, 120: 1.980,
+}
+
+def t95(dof: int) -> float:
+    """95% two-sided Student-t critical value.
+
+    Between table rows the value for the next-*smaller* dof is used
+    (larger t — conservative); above 120 dof the normal limit applies.
+    """
+    if dof <= 0:
+        return float("nan")
+    if dof > 120:
+        return 1.960
+    best = _T95[1]
+    for d in sorted(_T95):
+        if d > dof:
+            break
+        best = _T95[d]
+    return best
+
+
+def mean_ci(values: List[float]) -> Tuple[float, Optional[float]]:
+    """Sample mean and 95% CI half-width (None when n < 2)."""
+    n = len(values)
+    if n == 0:
+        return 0.0, None
+    m = sum(values) / n
+    if n < 2:
+        return m, None
+    var = sum((v - m) ** 2 for v in values) / (n - 1)
+    return m, t95(n - 1) * math.sqrt(var / n)
+
+
+def _rel_pct(half: Optional[float], mean: float) -> Optional[float]:
+    if half is None or mean == 0:
+        return None
+    return 100.0 * half / abs(mean)
+
+
+def ratio_ci(nums: List[float], dens: List[float]) -> Tuple[float, Optional[float]]:
+    """Ratio-of-sums ``sum(nums)/sum(dens)`` and jackknife 95% half-width.
+
+    The delete-one jackknife is the standard interval for a ratio of
+    sums with unequal weights: each leave-one-out replicate
+    ``R_(i) = (N - n_i) / (D - d_i)`` perturbs the ratio by that
+    window's influence, and the jackknife variance
+    ``(n-1)/n * sum (R_(i) - mean R_(.))^2`` feeds a Student-t interval
+    with n-1 degrees of freedom.  Returns half-width ``None`` when
+    n < 2 or any leave-one-out denominator is non-positive.
+    """
+    n = len(nums)
+    num_total = float(sum(nums))
+    den_total = float(sum(dens))
+    if den_total <= 0:
+        return 0.0, None
+    ratio = num_total / den_total
+    if n < 2:
+        return ratio, None
+    reps = []
+    for num, den in zip(nums, dens):
+        rest = den_total - den
+        if rest <= 0:
+            return ratio, None
+        reps.append((num_total - num) / rest)
+    rep_mean = sum(reps) / n
+    var = (n - 1) / n * sum((r - rep_mean) ** 2 for r in reps)
+    return ratio, t95(n - 1) * math.sqrt(var)
+
+
+def extrapolate(machine, spec, windows: List[dict], gaps: List[dict],
+                end_cycle: Optional[int]) -> Optional[dict]:
+    """Full-run estimates from window + gap records (SamplingController).
+
+    Returns None when no measurement window completed — that only happens
+    when the app finished during the *initial* detailed warmup, in which
+    case the raw machine statistics are already exact and the caller
+    should use them unmodified.
+    """
+    if not windows:
+        return None
+
+    total_instr = machine.total_instructions()
+    total_spin = sum(core.stats.get("instructions_spin") for core in machine.cores)
+    total_work = total_instr - total_spin
+    tiny = machine.tiny_core_ids() or list(range(machine.config.n_cores))
+
+    # Work-instruction-weighted ratio-of-sums over the measurement
+    # windows (see module docstring).  Falls back to the raw instruction
+    # measure only in the degenerate case where the detailed windows
+    # retired no work at all (pure-spin windows).
+    instr_w = sum(w["instructions"] for w in windows)
+    cycles_w = sum(w["cycles"] for w in windows)
+    work_weights = [w.get("work_instructions", w["instructions"]) for w in windows]
+    work_w = sum(work_weights)
+    if total_work > 0 and work_w > 0:
+        measure = "work"
+        scale = total_work / work_w
+        weights = work_weights
+    else:
+        measure = "instructions"
+        scale = total_instr / instr_w
+        weights = [w["instructions"] for w in windows]
+    stat_sum: Dict[str, float] = defaultdict(float)
+    traffic_sum: Dict[str, float] = defaultdict(float)
+    energy_sum: Dict[str, float] = defaultdict(float)
+    for w in windows:
+        for k, v in w["stats"].items():
+            stat_sum[k] += v
+        for k, v in w["traffic"].items():
+            traffic_sum[k] += v
+        for k, v in w["energy"].items():
+            energy_sum[k] += v
+
+    cycles_est = int(round(cycles_w * scale))
+    ipc_est = total_instr / cycles_est if cycles_est else 0.0
+
+    def stat_est(key: str) -> float:
+        return stat_sum.get(key, 0.0) * scale
+
+    def l1_est(key: str) -> float:
+        return sum(stat_est(f"machine.l1d_{cid}.{key}") for cid in tiny)
+
+    def core_est(key: str) -> float:
+        return sum(stat_est(f"machine.core_{cid}.{key}") for cid in tiny)
+
+    l1_accesses = l1_est("loads") + l1_est("stores")
+    l1_hits = l1_est("load_hits") + l1_est("store_hits")
+    l1_hit_rate = l1_hits / l1_accesses if l1_accesses else 1.0
+
+    traffic_est = {k: int(round(v * scale)) for k, v in traffic_sum.items()}
+
+    from repro.cores.core import TIME_CATEGORIES
+
+    breakdown_est = {
+        cat: int(round(core_est(f"cycles_{cat}"))) for cat in TIME_CATEGORIES
+    }
+
+    energy_scaled = {k: v * scale for k, v in energy_sum.items()}
+
+    # ------------------------------------------------------------------
+    # Confidence intervals: delete-one jackknife on the ratio-of-sums.
+    # Window weights are unequal under the work measure (spin share
+    # varies window to window), so the unweighted t-interval over
+    # per-window rates no longer covers the point estimate; the
+    # jackknife handles arbitrary weights.
+    # ------------------------------------------------------------------
+    cpi_mean, cpi_half = ratio_ci([w["cycles"] for w in windows], weights)
+    traffic_mean, traffic_half = ratio_ci(
+        [sum(w["traffic"].values()) for w in windows], weights
+    )
+
+    ff_instructions = sum(g["ff_instr"] for g in gaps)
+    pseudo_cycles = sum(g["pseudo_cycles"] for g in gaps)
+    return {
+        "cycles": cycles_est,
+        "l1_hit_rate_tiny": l1_hit_rate,
+        "lines_invalidated": int(round(l1_est("lines_invalidated"))),
+        "lines_flushed": int(round(l1_est("lines_flushed"))),
+        "invalidate_ops": int(round(l1_est("invalidate_ops"))),
+        "flush_ops": int(round(l1_est("flush_ops"))),
+        "amos": int(round(l1_est("amos"))),
+        "traffic_bytes": traffic_est,
+        "tiny_breakdown": breakdown_est,
+        "energy": energy_from_counts(energy_scaled),
+        "uli_handler_cycles": int(round(core_est("cycles_uli_handler"))),
+        "summary": {
+            "spec": spec.as_dict(),
+            "windows": len(windows),
+            "ff_periods": len(gaps),
+            "ff_instructions": ff_instructions,
+            "detailed_instructions": instr_w,
+            "detailed_cycles": cycles_w,
+            # Extrapolation measure: "work" (instructions outside
+            # scheduler-spin loops) or the raw-instruction fallback.
+            "measure": measure,
+            "work_instructions": total_work,
+            "spin_instructions": total_spin,
+            "detailed_work_instructions": work_w,
+            # Fraction of the run simulated in detail (warmup + windows).
+            "coverage": (
+                (total_instr - ff_instructions) / total_instr
+                if total_instr
+                else 1.0
+            ),
+            # Cycles the detailed engine never simulated: the pseudo-time
+            # the fast-forward clock covered.
+            "pseudo_cycles": pseudo_cycles,
+            "ipc_mean": ipc_est,
+            "cycles_ci95_pct": _rel_pct(cpi_half, cpi_mean),
+            "traffic_ci95_pct": _rel_pct(traffic_half, traffic_mean),
+        },
+    }

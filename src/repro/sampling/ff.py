@@ -1,0 +1,134 @@
+"""Fast-forward period state shared by every core's ``_resume_ff`` slice.
+
+One :class:`FastForwardState` exists per fast-forward period.  Cores hold a
+reference in ``Core._ff`` (arming the redirect in ``Core._resume``); each
+slice charges the instructions it executed through :meth:`consume`, and the
+slice that crosses the period's global instruction budget fires the
+``on_exhausted`` callback synchronously — the sampling controller then
+disarms every core so the already-parked slice continuations resume in
+detailed mode.
+
+Calibrated pseudo-time
+----------------------
+Fast-forward must preserve the *relative* speeds of work and
+synchronization or the schedule it produces is not representative: task
+execution in a dynamic work-stealing runtime races against steal
+round-trips, wake-ups, and idle backoff, all of which fast-forward models
+with their real latencies.  Charging every instruction one pseudo-cycle
+would make work and — critically — the steal protocol's memory
+operations (deque AMOs, handler loads) ~CPI-times too fast: task
+redistribution that in detail is gated by contended memory round-trips
+becomes nearly free, the fast-forwarded machine reaches a far
+better-balanced state than the detailed one ever does, and measurement
+windows then measure a fiction.  Instead each period carries ``costs``,
+the per-op-kind average latencies observed in the *previous* measurement
+window (cycles_load / loads, cycles_amo / amos, ...), and every
+fast-forwarded op charges its kind's calibrated cost.  The slice
+instruction cap is derived from ``quantum`` and the blended per
+-instruction cost ``cpi`` so a slice spans roughly ``quantum``
+pseudo-*cycles* regardless of calibration, keeping cores interleaved and
+ULI delivery responsive.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+#: Op kinds carrying a calibrated per-op pseudo-cycle cost.
+COST_KINDS = ("load", "store", "amo", "invalidate", "flush")
+
+#: Pre-calibration defaults (before the first window closes there is
+#: nothing to calibrate against; the initial warmup+window always runs
+#: before the first fast-forward period, so these only matter as
+#: fallbacks for degenerate windows).
+DEFAULT_COSTS = {kind: 1.0 for kind in COST_KINDS}
+
+#: Tail of each fast-forward period (fraction of the instruction budget,
+#: with an absolute floor) during which idles stay *real* when the spec
+#: enables idle stretching (``SamplingSpec.stretch`` > 1).  A core parked
+#: in a stretched idle sleeps up to ``stretch * 2 * STEAL_BACKOFF_CAP``
+#: pseudo-cycles — longer than a whole warmup on a big machine — so
+#: stretching right up to the period boundary hands the next measurement
+#: window an artificially depleted machine (idle cores oversleeping the
+#: window) and a large systematic overestimate.  The cooldown tail lets
+#: every stretched sleeper wake and resume real-rate polling before
+#: detailed warmup begins.  (It cannot repair the slower work
+#: *redistribution* under stretched polling, which is why stretching is a
+#: per-spec throughput knob, off for validation specs — see spec.py.)
+FF_COOLDOWN_FRACTION = 0.25
+FF_COOLDOWN_MIN = 4096
+
+
+class FastForwardState:
+    """Budgeted functional fast-forward period."""
+
+    __slots__ = (
+        "memory",
+        "quantum",
+        "budget",
+        "cpi",
+        "costs",
+        "slice_budget",
+        "idle_scale",
+        "stretch_until",
+        "consumed",
+        "exhausted",
+        "on_exhausted",
+        "written",
+    )
+
+    def __init__(
+        self,
+        memory,
+        budget: int,
+        quantum: int,
+        cpi: float = 1.0,
+        costs: Optional[Dict[str, float]] = None,
+        on_exhausted: Optional[Callable[["FastForwardState"], None]] = None,
+        stretch: int = 1,
+    ):
+        #: MainMemory whose flat word store the FF slices read/write.
+        self.memory = memory
+        self.budget = budget
+        self.quantum = quantum
+        #: Blended pseudo-cycles per instruction (slice sizing only).
+        self.cpi = max(1.0, cpi)
+        #: Per-op-kind pseudo-cycle charges (window-calibrated, >= 1).
+        self.costs = dict(DEFAULT_COSTS)
+        if costs:
+            for kind, cost in costs.items():
+                self.costs[kind] = max(1.0, cost)
+        #: Instructions per slice, sized so a slice covers ~``quantum``
+        #: pseudo-cycles: slices stay short in *time* even when each
+        #: instruction is expensive, so parked cores never lag far behind
+        #: the clock and steal requests keep landing promptly.
+        self.slice_budget = max(8, int(quantum / self.cpi))
+        #: Idle stretch applied by Core._resume_ff (spec-controlled).
+        self.idle_scale = max(1, int(stretch))
+        #: Stretch idles only below this consumed-instruction mark; the
+        #: remaining tail runs with real backoff (see FF_COOLDOWN_*).
+        self.stretch_until = (
+            max(
+                0,
+                budget - max(FF_COOLDOWN_MIN, int(budget * FF_COOLDOWN_FRACTION)),
+            )
+            if self.idle_scale > 1
+            else 0
+        )
+        self.consumed = 0
+        self.exhausted = False
+        self.on_exhausted = on_exhausted
+        #: Line addresses stores/AMOs mutated this period.  The warm L2
+        #: survives fast-forward (see Machine.prepare_fastforward); these
+        #: are exactly the lines whose L2 copies went stale and must be
+        #: purged on exit (Machine.invalidate_ff_lines).
+        self.written = set()
+
+    def consume(self, n: int) -> None:
+        """Charge ``n`` executed instructions against the period budget."""
+        self.consumed += n
+        if not self.exhausted and self.consumed >= self.budget:
+            self.exhausted = True
+            cb = self.on_exhausted
+            if cb is not None:
+                cb(self)

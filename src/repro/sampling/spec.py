@@ -1,0 +1,108 @@
+"""Sampling specification: the ``U:W:D[:Q[:S]]`` knob.
+
+One periodic-sampling run alternates
+
+* a detailed **warmup** of ``W`` machine-wide instructions (caches
+  re-warm after the drain, statistics discarded),
+* a detailed **measurement window** of ``D`` machine-wide instructions
+  (everything measured),
+* a functional **fast-forward period** of ``U`` instructions
+  (architectural state advances exactly, no timing), executed in slices
+  of ``Q`` instructions per core per event.
+
+All three are *instruction* counts: keeping every phase in instruction
+space makes window placement periodic in instruction space end to end,
+the design under which the estimators in ``repro.sampling.estimate`` are
+unbiased (a cycle-bounded warmup or window would phase-lock onto
+burst/stall oscillations of task-parallel runs — see the controller
+docstring).
+
+``S`` (default 1 = off) stretches idle backoffs during fast-forward by
+that factor, thinning the spin-wait instructions that dominate dynamic
+instruction counts on large machines — a *throughput* knob that buys
+several extra × of wall-clock speedup at a measurable accuracy cost:
+stretched polling redistributes work more slowly, so windows see a
+machine the exact schedule never quite produces.  Validation specs keep
+``S = 1``; the large-scale benchmark mix uses ``S = 8`` and reports its
+error (see DESIGN.md §10).
+
+The run always *starts* detailed (warmup from instruction 0, then the
+first window) so early-phase behaviour anchors the estimate, and it ends
+wherever the app ends — a partially complete window still counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+#: Default instructions per fast-forward slice.  Large enough that slice
+#: overhead (event dispatch, budget bookkeeping) amortizes; small enough
+#: that cores interleave and ULI round-trips stay responsive.
+DEFAULT_QUANTUM = 256
+
+
+class SamplingError(ValueError):
+    """Invalid sampling spec or an illegal sampled-run combination."""
+
+
+@dataclass(frozen=True)
+class SamplingSpec:
+    """Parsed ``--sample`` specification."""
+
+    interval: int  #: U — instructions fast-forwarded per period (±25% jitter)
+    warmup: int  #: W — detailed warmup instructions before each window
+    window: int  #: D — detailed measured instructions per window
+    quantum: int = DEFAULT_QUANTUM  #: Q — instructions per FF slice
+    stretch: int = 1  #: S — idle-backoff stretch during FF (1 = off)
+
+    def __post_init__(self):
+        if self.interval <= 0:
+            raise SamplingError(f"sampling interval must be > 0, got {self.interval}")
+        if self.warmup < 0:
+            raise SamplingError(f"sampling warmup must be >= 0, got {self.warmup}")
+        if self.window <= 0:
+            raise SamplingError(f"sampling window must be > 0, got {self.window}")
+        if self.quantum <= 0:
+            raise SamplingError(f"sampling quantum must be > 0, got {self.quantum}")
+        if self.stretch < 1:
+            raise SamplingError(f"sampling stretch must be >= 1, got {self.stretch}")
+
+    @classmethod
+    def parse(cls, text: str) -> "SamplingSpec":
+        """Parse ``"U:W:D"``, ``"U:W:D:Q"``, or ``"U:W:D:Q:S"``."""
+        parts = str(text).split(":")
+        if len(parts) not in (3, 4, 5):
+            raise SamplingError(
+                f"sampling spec must be U:W:D, U:W:D:Q, or U:W:D:Q:S, got {text!r}"
+            )
+        try:
+            numbers = [int(p) for p in parts]
+        except ValueError:
+            raise SamplingError(f"non-integer field in sampling spec {text!r}") from None
+        if len(numbers) == 3:
+            numbers.append(DEFAULT_QUANTUM)
+        return cls(*numbers)
+
+    @classmethod
+    def coerce(cls, value) -> "SamplingSpec | None":
+        """Accept None, a spec string, a dict, or a SamplingSpec."""
+        if value is None or isinstance(value, SamplingSpec):
+            return value
+        if isinstance(value, str):
+            return cls.parse(value)
+        if isinstance(value, dict):
+            return cls(**value)
+        raise SamplingError(f"cannot interpret {value!r} as a sampling spec")
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    def spec_str(self) -> str:
+        """Canonical ``U:W:D[:Q[:S]]`` form; trailing default fields are
+        omitted (round-trips what the user typed on the CLI)."""
+        base = f"{self.interval}:{self.warmup}:{self.window}"
+        if self.stretch != 1:
+            return f"{base}:{self.quantum}:{self.stretch}"
+        if self.quantum != DEFAULT_QUANTUM:
+            return f"{base}:{self.quantum}"
+        return base

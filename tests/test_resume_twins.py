@@ -1,0 +1,122 @@
+"""Structural drift guard for the ``Core._resume`` twins.
+
+``Core._resume_profiled`` mirrors ``Core._resume`` line for line (the
+profiler must not change simulated outcomes), and nothing but code review
+enforced that — a branch fixed in one loop and not the other would skew
+profiled runs silently.  This test normalizes both methods' ASTs (strip
+docstrings, drop the twin-dispatch guards from ``_resume``, splice out
+the profiler brackets from ``_resume_profiled``) and requires the
+remainder to be *identical*.  Any future edit to one loop now fails here
+until it is mirrored in the other.
+"""
+
+import ast
+import inspect
+import textwrap
+
+from repro.cores.core import Core
+
+#: Profiler plumbing locals whose assignments exist only in the twin.
+_PROF_NAMES = {"prof", "enter", "leave"}
+
+
+def _method_ast(name: str) -> ast.FunctionDef:
+    source = textwrap.dedent(inspect.getsource(getattr(Core, name)))
+    tree = ast.parse(source)
+    return tree.body[0]
+
+
+def _is_docstring(stmt: ast.stmt) -> bool:
+    return isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant)
+
+
+def _is_prof_assign(stmt: ast.stmt) -> bool:
+    """``prof = self._prof`` / ``enter = prof.enter`` / ``leave = prof.exit``."""
+    return (
+        isinstance(stmt, ast.Assign)
+        and len(stmt.targets) == 1
+        and isinstance(stmt.targets[0], ast.Name)
+        and stmt.targets[0].id in _PROF_NAMES
+    )
+
+
+def _is_call_to(stmt: ast.stmt, names) -> bool:
+    return (
+        isinstance(stmt, ast.Expr)
+        and isinstance(stmt.value, ast.Call)
+        and isinstance(stmt.value.func, ast.Name)
+        and stmt.value.func.id in names
+    )
+
+
+def _is_twin_dispatch(stmt: ast.stmt) -> bool:
+    """The guards at the top of ``_resume`` that route to the twins:
+    ``if self._ff is not None: return self._resume_ff(value)`` and the
+    ``_prof``/``_resume_profiled`` equivalent."""
+    if not (isinstance(stmt, ast.If) and len(stmt.body) == 1):
+        return False
+    ret = stmt.body[0]
+    return (
+        isinstance(ret, ast.Return)
+        and isinstance(ret.value, ast.Call)
+        and isinstance(ret.value.func, ast.Attribute)
+        and ret.value.func.attr in ("_resume_ff", "_resume_profiled")
+    )
+
+
+def _strip(stmts):
+    """Normalize a statement list: drop docstrings, twin dispatch, and
+    profiler statements; unwrap ``enter(..)``/``try: X finally: leave()``
+    probe brackets; recurse into every nested block."""
+    out = []
+    for stmt in stmts:
+        if _is_docstring(stmt) or _is_twin_dispatch(stmt):
+            continue
+        if _is_prof_assign(stmt) or _is_call_to(stmt, {"enter"}):
+            continue
+        if (
+            isinstance(stmt, ast.Try)
+            and not stmt.handlers
+            and not stmt.orelse
+            and len(stmt.finalbody) == 1
+            and _is_call_to(stmt.finalbody[0], {"leave"})
+        ):
+            # The probe bracket: splice the guarded body back inline.
+            out.extend(_strip(stmt.body))
+            continue
+        for field in ("body", "orelse", "finalbody"):
+            if hasattr(stmt, field) and getattr(stmt, field):
+                setattr(stmt, field, _strip(getattr(stmt, field)))
+        if hasattr(stmt, "handlers"):
+            for handler in stmt.handlers:
+                handler.body = _strip(handler.body)
+        out.append(stmt)
+    return out
+
+
+def _normalized(name: str) -> str:
+    fn = _method_ast(name)
+    fn.name = "resume"
+    fn.body = _strip(fn.body)
+    return ast.dump(
+        ast.fix_missing_locations(fn), annotate_fields=False, include_attributes=False
+    )
+
+
+def test_resume_profiled_mirrors_resume():
+    plain = _normalized("_resume")
+    profiled = _normalized("_resume_profiled")
+    assert plain == profiled, (
+        "Core._resume and Core._resume_profiled have structurally diverged "
+        "beyond the profiler probes; mirror the change in both loops "
+        "(and in Core._resume_ff if it affects architectural behaviour)"
+    )
+
+
+def test_normalization_sees_real_code():
+    """Guard the guard: normalization must leave the shared loop intact,
+    not strip both methods down to nothing."""
+    plain = _normalized("_resume")
+    assert "StopIteration" in plain
+    assert "_enter_handler" in plain
+    assert "events_fused" in plain
