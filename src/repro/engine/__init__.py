@@ -4,6 +4,8 @@ from repro.engine.checkpoint import (
     CheckpointConfig,
     CheckpointDaemon,
     CheckpointError,
+    ParkDaemon,
+    ParkedRun,
     load_snapshot,
     save_snapshot,
 )
@@ -17,6 +19,8 @@ __all__ = [
     "CheckpointDaemon",
     "CheckpointError",
     "Counter",
+    "ParkDaemon",
+    "ParkedRun",
     "DeadlockError",
     "SimulationError",
     "Simulator",

@@ -31,10 +31,19 @@ from dataclasses import dataclass, field, fields, replace
 from typing import Dict, List, Optional, Sequence
 
 import repro.harness.runner as runner
+from repro.engine.checkpoint import ParkedRun
 from repro.engine.watchdog import DeadlockError
 from repro.harness import termlog
+from repro.harness.retry import Backoff, BackoffPolicy
 from repro.harness.runner import ExperimentResult
 from repro.sanitize import SanitizerError
+
+#: Default retry schedule for failed grid workers: exponential backoff
+#: with decorrelated jitter (repro.harness.retry), shared discipline with
+#: the serve supervisor.  A crashed worker usually shares its cause with
+#: its siblings (OOM, disk, a wedged store), so immediate same-slot
+#: retries mostly burn an attempt reproducing the failure.
+GRID_BACKOFF = BackoffPolicy(base_s=0.2, cap_s=5.0, multiplier=3.0)
 
 
 class GridError(RuntimeError):
@@ -256,6 +265,13 @@ def _worker_entry(conn, point_kwargs: dict, results_dir: Optional[str]) -> None:
         conn.send(
             ("ok", {"result": result_to_dict(result), "sims": runner.simulation_count()})
         )
+    except ParkedRun as exc:
+        # Preempted by a supervisor (repro.serve): the snapshot is already
+        # on disk; report where the run stopped and exit cleanly.
+        try:
+            conn.send(("parked", {"cycle": exc.cycle, "snapshot": exc.path}))
+        except Exception:
+            pass
     except DeadlockError as exc:
         try:
             conn.send(("deadlock", {"message": str(exc), "diagnostic": exc.diagnostic}))
@@ -405,15 +421,19 @@ def run_grid(
     checkpoint_dir: Optional[str] = None,
     checkpoint_interval: Optional[int] = 50_000,
     warm_init: bool = False,
+    backoff: Optional[BackoffPolicy] = None,
 ):
     """Run every grid point; return results in input order.
 
     ``jobs > 1`` fans points out over a process pool; each run gets at most
     ``timeout`` wall-clock seconds (None = unlimited) and ``retries`` fresh
     attempts after a failure or timeout before :class:`GridError` is
-    raised.  All completed results are adopted into the in-process memo
-    cache and the configured result store, so follow-up ``run_experiment``
-    calls for the same points are free.
+    raised.  Retries wait out an exponential backoff with decorrelated
+    jitter (``backoff``, default :data:`GRID_BACKOFF`; pass
+    ``repro.harness.retry.NO_BACKOFF`` for immediate retries) instead of
+    respawning into the same failure.  All completed results are adopted
+    into the in-process memo cache and the configured result store, so
+    follow-up ``run_experiment`` calls for the same points are free.
 
     ``on_error="record"`` makes sweeps crash-tolerant: a point that
     deadlocks, trips the sanitizer, times out, or errors yields a
@@ -490,7 +510,7 @@ def run_grid(
                 instant=(runner.simulation_count() == sims_before),
             )
         return results
-    return _run_parallel(points, jobs, timeout, retries, meter, on_error)
+    return _run_parallel(points, jobs, timeout, retries, meter, on_error, backoff)
 
 
 def _run_parallel(
@@ -500,6 +520,7 @@ def _run_parallel(
     retries: int,
     meter: _Progress,
     on_error: str = "raise",
+    backoff: Optional[BackoffPolicy] = None,
 ) -> List[ExperimentResult]:
     from repro.harness.export import result_from_dict
 
@@ -509,6 +530,12 @@ def _run_parallel(
     pending = deque(enumerate(points))
     running: Dict[int, _Running] = {}
     results: List[Optional[ExperimentResult]] = [None] * len(points)
+    policy = backoff if backoff is not None else GRID_BACKOFF
+    #: Per-point retry state (decorrelated jitter needs the previous
+    #: delay), created on first failure.
+    backoffs: Dict[int, Backoff] = {}
+    #: Points waiting out their backoff: idx -> (point, next attempt).
+    delayed: Dict[int, tuple] = {}
 
     def spawn(idx: int, point: GridPoint, attempt: int) -> None:
         parent_conn, child_conn = ctx.Pipe(duplex=False)
@@ -562,11 +589,14 @@ def _run_parallel(
         # Deadlocks and sanitizer violations are deterministic functions
         # of the grid point: a retry would only reproduce them.
         if retryable and slot.attempt <= retries:
+            state = backoffs.setdefault(idx, Backoff(policy))
+            delay = state.fail()
             meter.note(
                 f"retrying {slot.point.label()} "
-                f"(attempt {slot.attempt + 1}): {reason.splitlines()[0]}"
+                f"(attempt {slot.attempt + 1}, backoff {delay:.2f}s): "
+                f"{reason.splitlines()[0]}"
             )
-            spawn(idx, slot.point, slot.attempt + 1)
+            delayed[idx] = (slot.point, slot.attempt + 1)
         elif on_error == "record":
             results[idx] = _record_failure(
                 slot.point, error, reason, diagnostic or {}, slot.attempt
@@ -581,7 +611,15 @@ def _run_parallel(
             )
 
     try:
-        while pending or running:
+        while pending or running or delayed:
+            # Backed-off retries whose delay has elapsed respawn first:
+            # they have been waiting longest and hold a results slot.
+            for idx in list(delayed):
+                if len(running) >= jobs:
+                    break
+                if backoffs[idx].ready():
+                    point, attempt = delayed.pop(idx)
+                    spawn(idx, point, attempt)
             while pending and len(running) < jobs:
                 idx, point = pending.popleft()
                 spawn(idx, point, attempt=1)
@@ -627,6 +665,16 @@ def _run_parallel(
                             idx, payload["message"], error="violation",
                             diagnostic={"violations": payload.get("violations", [])},
                             retryable=False,
+                        )
+                    elif status == "parked":
+                        # The grid never requests parks itself (only the
+                        # serve supervisor does); a stale park file counts
+                        # as a retryable interruption — the retry resumes
+                        # from the snapshot under on_error="resume".
+                        fail(
+                            idx,
+                            f"worker parked at cycle {payload.get('cycle')}",
+                            error="parked",
                         )
                     else:
                         fail(idx, payload)

@@ -29,6 +29,8 @@ from repro.engine.checkpoint import (
     CheckpointConfig,
     CheckpointDaemon,
     CheckpointError,
+    ParkDaemon,
+    ParkedRun,
     capture_init_state,
     capture_run_state,
     load_snapshot,
@@ -304,7 +306,10 @@ def _ledger_record(
     if ledger is None:
         return
     ledger.record(
-        source="runner",
+        # Supervising parents can relabel their workers' lines (the serve
+        # spawn sets "serve" around its fork) so `repro report` can tell
+        # service work from ad-hoc runs.
+        source=os.environ.get("REPRO_LEDGER_SOURCE", "runner"),
         outcome=outcome,
         app=app_name,
         kind=kind,
@@ -404,10 +409,12 @@ def run_experiment(
                 "sampled runs cannot be sanitized: coherence invariants "
                 "are vacuous while the cache hierarchy is drained"
             )
-        if ckpt is not None and (ckpt.path or ckpt.resume or ckpt.interval):
+        if ckpt is not None and (
+            ckpt.path or ckpt.resume or ckpt.interval or ckpt.park_path
+        ):
             raise SamplingError(
-                "sampled runs cannot take or resume run checkpoints "
-                "(warm-start init_dir is allowed)"
+                "sampled runs cannot take or resume run checkpoints, and "
+                "so cannot be parked (warm-start init_dir is allowed)"
             )
     traced = tracer is not None or sample_interval is not None
     if traced:
@@ -460,6 +467,21 @@ def run_experiment(
             tracer, sample_interval, faults, sanitize, watchdog,
             ckpt, sampling, key, store, store_key, ctx,
         )
+    except ParkedRun as exc:
+        # Preemption is not a failure: the run's snapshot is on disk and a
+        # later resume finishes it byte-identically.  The ledger records
+        # the parked attempt so wall-time accounting stays complete.
+        heartbeat = ctx.get("heartbeat")
+        if heartbeat is not None:
+            heartbeat.finalize("parked")
+        _ledger_record(
+            "parked",
+            app_name=app_name, kind=kind, scale=scale, serial=serial,
+            wall_s=time.perf_counter() - started, store_key=store_key,
+            cycles=exc.cycle, seed=ctx.get("seed"), robustness=robustness,
+            lineage=ctx.get("lineage"), sampling=sampling,
+        )
+        raise
     except Exception as exc:
         heartbeat = ctx.get("heartbeat")
         if heartbeat is not None:
@@ -609,6 +631,19 @@ def _simulate_experiment(
             ckpt.interval,
             lambda m: save_snapshot(ckpt.path, capture_run_state(m)),
         )
+    park_daemon = None
+    if ckpt is not None and ckpt.park_path:
+        if not run_snapshots:
+            raise CheckpointError(
+                "a preemptible (park_path) run needs a snapshot path"
+            )
+        park_daemon = ParkDaemon(
+            machine,
+            ckpt.park_poll,
+            ckpt.park_path,
+            lambda m: save_snapshot(ckpt.path, capture_run_state(m)),
+            snapshot_path=ckpt.path,
+        )
     controller = None
     if sampling is not None:
         from repro.sampling import SamplingController
@@ -621,6 +656,8 @@ def _simulate_experiment(
         lineage["resumed_from_cycle"] = resume_snap["cycle"]
         if daemon is not None:
             daemon.arm()
+        if park_daemon is not None:
+            park_daemon.arm()
         # Heartbeat starts after the restore so its daemon tick rides the
         # restored event queue (restore rebuilds simulator state).
         if heartbeat is not None:
@@ -629,9 +666,13 @@ def _simulate_experiment(
     else:
         if daemon is not None:
             daemon.arm()
+        if park_daemon is not None:
+            park_daemon.arm()
         if heartbeat is not None:
             heartbeat.start()
         cycles = runtime.run(app.make_root(serial=False))
+    if park_daemon is not None:
+        park_daemon.cancel()
     if daemon is not None:
         daemon.cancel()
         lineage["snapshots_taken"] = daemon.snapshots_taken

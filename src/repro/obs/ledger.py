@@ -13,7 +13,10 @@ line describing its outcome:
   timeout / error, matching ``FailedResult.error``).
 
 Timed-out or killed grid workers can't write their own line, so the grid
-parent appends one on their behalf (``source: "grid"``).
+parent appends one on their behalf (``source: "grid"``).  Workers forked
+by the job service inherit ``REPRO_LEDGER_SOURCE=serve`` and label their
+lines ``source: "serve"``, so a report over a shared ledger can tell
+service work from ad-hoc runs.
 
 Each line carries the store-key digest (the same SHA-256 the result store
 shards by), the config seed, the robustness block, checkpoint lineage,
@@ -141,26 +144,52 @@ def read_ledger(path) -> list:
     bad lines are skipped; ``repro report`` surfaces the skip count via
     :func:`read_ledger_with_errors`.
     """
-    entries, _bad = read_ledger_with_errors(path)
+    entries, _bad, _torn = read_ledger_with_errors(path)
     return entries
 
 
 def read_ledger_with_errors(path):
-    """(entries, malformed_line_count) for a ledger file."""
+    """(entries, malformed_line_count, torn_tail) for a ledger file.
+
+    ``torn_tail`` is True when the *final* line fails to parse and the
+    file does not end in a newline — the signature of a writer killed
+    mid-append.  That line is *recoverable* damage (every complete entry
+    before it is intact, and the interrupted run never finished recording
+    its outcome anyway), so it is reported separately rather than counted
+    among the malformed lines; the serve journal replayer
+    (``repro.serve.journal``) relies on this classification to recover
+    from a crashed server.
+    """
+    return read_jsonl_with_errors(path)
+
+
+def read_jsonl_with_errors(path):
+    """Shared tolerant JSONL reader: (dict entries, malformed count,
+    torn_tail flag).  Used by the run ledger and the serve job journal —
+    both are O_APPEND single-write streams with the same crash modes."""
     entries = []
     bad = 0
+    torn = False
     with open(path, "r", encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                entry = json.loads(line)
-            except ValueError:
-                bad += 1
-                continue
-            if isinstance(entry, dict):
-                entries.append(entry)
+        raw = fh.read()
+    lines = raw.split("\n")
+    #: A file ending in "\n" splits into [..., ""]; anything else in the
+    #: final slot is an unterminated (possibly torn) tail.
+    unterminated = lines[-1] != ""
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except ValueError:
+            if unterminated and i == len(lines) - 1:
+                torn = True
             else:
                 bad += 1
-    return entries, bad
+            continue
+        if isinstance(entry, dict):
+            entries.append(entry)
+        else:
+            bad += 1
+    return entries, bad, torn

@@ -16,8 +16,10 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.obs.ledger import read_ledger_with_errors
 
-#: Outcomes in display order; anything else lands in "other".
-OUTCOMES = ("ok", "store-hit", "memo-hit", "failed")
+#: Outcomes in display order; anything else lands in "other".  "parked"
+#: attempts (preempted runs, repro.serve) are accounted but not simulated:
+#: the eventual resumed attempt contributes the "ok".
+OUTCOMES = ("ok", "store-hit", "memo-hit", "failed", "parked")
 
 
 def _group_key(entry: dict) -> Tuple[str, str, str, str]:
@@ -108,9 +110,10 @@ def aggregate(entries: List[dict], malformed: int = 0) -> dict:
 
 
 def report_from_file(path: str) -> dict:
-    entries, malformed = read_ledger_with_errors(path)
+    entries, malformed, torn_tail = read_ledger_with_errors(path)
     summary = aggregate(entries, malformed)
     summary["ledger"] = str(path)
+    summary["torn_tail"] = torn_tail
     return summary
 
 
@@ -123,6 +126,7 @@ def format_summary(summary: dict) -> str:
         f"runs: {summary['runs']}  "
         f"ok:{totals['ok']}  store-hit:{totals['store-hit']}  "
         f"memo-hit:{totals['memo-hit']}  failed:{totals['failed']}"
+        + (f"  parked:{totals['parked']}" if totals.get("parked") else "")
         + (f"  other:{totals['other']}" if totals["other"] else ""),
         f"wall: {summary['wall_total_s']:.2f}s total  "
         f"(simulated {wall['ok'] + wall['failed']:.2f}s, "
@@ -142,6 +146,11 @@ def format_summary(summary: dict) -> str:
         + (
             f"  [{summary['malformed_lines']} malformed line(s) skipped]"
             if summary["malformed_lines"]
+            else ""
+        )
+        + (
+            "  [torn final line (crashed writer) skipped]"
+            if summary.get("torn_tail")
             else ""
         ),
         "",

@@ -30,8 +30,51 @@ from repro.obs.metrics import write_prometheus_textfile
 _ANSI_HOME = "\x1b[H\x1b[J"
 
 #: A run whose file hasn't been replaced for this many seconds is flagged
-#: stale (worker wedged or killed without finalize).
+#: stale (worker wedged but still alive).  Overridable per call
+#: (``--stale-after``) or process-wide via ``REPRO_TOP_STALE_S``.
 STALE_AFTER_S = 30.0
+
+
+def stale_after_default() -> float:
+    """The effective stale threshold (env override, else the constant)."""
+    try:
+        return float(os.environ.get("REPRO_TOP_STALE_S", ""))
+    except ValueError:
+        return STALE_AFTER_S
+
+
+def _pid_alive(pid) -> bool:
+    """Best-effort liveness probe; unknown/foreign pids count as alive
+    (never claim a run is dead on weak evidence)."""
+    if not pid:
+        return True
+    try:
+        os.kill(int(pid), 0)
+    except ProcessLookupError:
+        return False
+    except (OSError, ValueError):
+        return True
+    return True
+
+
+def gc_dead_snapshots(directory: str) -> List[str]:
+    """Remove snapshots orphaned by dead writers; returns removed names.
+
+    A snapshot claiming ``running`` whose writer pid no longer exists can
+    never be replaced or finalized — without collection it would sit in
+    the table flagged forever.  Finished runs (``done``/``failed``/
+    ``parked``) keep their files: those are informative, not wedged.
+    """
+    removed: List[str] = []
+    snaps, _skipped = read_snapshots(directory)
+    for snap in snaps:
+        if snap.get("status") == "running" and not _pid_alive(snap.get("pid")):
+            try:
+                os.unlink(os.path.join(directory, snap["_file"]))
+            except OSError:
+                continue
+            removed.append(snap["_file"])
+    return removed
 
 
 def read_snapshots(directory: str) -> Tuple[List[dict], int]:
@@ -86,9 +129,15 @@ def _core_bar(snap: dict, width: int = 16) -> str:
     return "".join(glyphs)
 
 
-def render(snaps: List[dict], skipped: int = 0, now: Optional[float] = None) -> str:
+def render(
+    snaps: List[dict],
+    skipped: int = 0,
+    now: Optional[float] = None,
+    stale_after: Optional[float] = None,
+) -> str:
     """One frame of the top view as a plain string."""
     now = time.time() if now is None else now
+    stale_after = stale_after_default() if stale_after is None else stale_after
     by_status: dict = {}
     for snap in snaps:
         by_status[snap["status"]] = by_status.get(snap["status"], 0) + 1
@@ -115,7 +164,11 @@ def render(snaps: List[dict], skipped: int = 0, now: Optional[float] = None) -> 
         fused = events.get("fused_ratio")
         age = now - snap.get("updated_at", now)
         status = snap["status"]
-        if status == "running" and age > STALE_AFTER_S:
+        if status == "running" and not _pid_alive(snap.get("pid")):
+            # The writer died without finalizing: this file will never be
+            # replaced.  "dead" (not "stale?") — and ``--clean`` collects it.
+            status = "dead"
+        elif status == "running" and age > stale_after:
             status = "stale?"
         tasks = snap.get("tasks") or {}
         rows.append(
@@ -156,18 +209,65 @@ def sweep_gauges(snaps: List[dict]) -> dict:
     return gauges
 
 
+def render_serve(workdir: str, now: Optional[float] = None) -> Optional[str]:
+    """A service header block from a serve work directory's status file
+    (written atomically by ``repro.serve.server``), or None when absent."""
+    path = os.path.join(workdir, "serve-status.json")
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict) or "counts" not in payload:
+        return None
+    now = time.time() if now is None else now
+    age = now - payload.get("updated_at", now)
+    pid = payload.get("pid")
+    alive = _pid_alive(pid)
+    counts = payload.get("counts", {})
+    lines = [
+        f"repro serve — pid {pid}"
+        + ("" if alive else " (DEAD — journal will recover on restart)")
+        + f"  slots {len(payload.get('active', []))}/{payload.get('slots', '?')}"
+        + f"  age {age:.0f}s",
+        "  jobs: "
+        + "  ".join(
+            f"{state}:{counts.get(state, 0)}"
+            for state in ("pending", "running", "parked", "done", "failed", "rejected")
+        ),
+    ]
+    for worker in payload.get("active", []):
+        lines.append(
+            f"  worker pid {worker.get('pid'):>7}  {worker.get('id')}  "
+            f"{worker.get('app')}  attempt {worker.get('attempt')}"
+            + ("  [parking]" if worker.get("parking") else "")
+        )
+    return "\n".join(lines)
+
+
 def run_top(
     directory: str,
     interval: float = 1.0,
     once: bool = False,
     prom_path: Optional[str] = None,
     frames: Optional[int] = None,
+    clean: bool = False,
+    stale_after: Optional[float] = None,
+    serve_dir: Optional[str] = None,
 ) -> int:
     """The ``repro top`` main loop; returns a process exit code."""
     shown = 0
     while True:
+        if clean:
+            for name in gc_dead_snapshots(directory):
+                print(f"repro top: collected dead snapshot {name}")
         snaps, skipped = read_snapshots(directory)
-        frame = render(snaps, skipped)
+        frame = render(snaps, skipped, stale_after=stale_after)
+        if serve_dir:
+            serve_frame = render_serve(serve_dir)
+            if serve_frame is None:
+                serve_frame = f"repro serve — no status file in {serve_dir}"
+            frame = f"{serve_frame}\n\n{frame}"
         if once or frames is not None:
             print(frame)
         else:

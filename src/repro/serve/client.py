@@ -1,0 +1,99 @@
+"""Blocking unix-socket client for the job service.
+
+The CLI (``repro submit``) and the tests talk to a running
+:class:`repro.serve.server.JobServer` through this thin wrapper: one JSON
+line per request, one per response, over a long-lived socket connection.
+Nothing here knows about jobs beyond dict payloads — the server owns all
+semantics.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Optional
+
+
+class ServeError(RuntimeError):
+    """The server refused a request (carried reason) or went away."""
+
+
+class ServeClient:
+    """One blocking connection to a job server's unix socket."""
+
+    def __init__(self, path: str, timeout: Optional[float] = None):
+        self.path = path
+        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if timeout is not None:
+            self.sock.settimeout(timeout)
+        self.sock.connect(path)
+        self._recv_file = self.sock.makefile("r", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def request(self, op: str, **fields) -> dict:
+        """Send one request; return the (decoded) response object."""
+        payload = {"op": op, **fields}
+        self.sock.sendall((json.dumps(payload) + "\n").encode("utf-8"))
+        line = self._recv_file.readline()
+        if not line:
+            raise ServeError("server closed the connection")
+        response = json.loads(line)
+        if not response.get("ok"):
+            raise ServeError(response.get("error", "request failed"))
+        return response
+
+    def close(self) -> None:
+        try:
+            self._recv_file.close()
+        finally:
+            self.sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def ping(self) -> dict:
+        return self.request("ping")
+
+    def submit(self, job: dict) -> dict:
+        """Submit one job dict; returns ``{"id", "state", ["reason"]}``."""
+        return self.request("submit", job=job)
+
+    def status(self, job_id: Optional[str] = None) -> dict:
+        if job_id is None:
+            return self.request("status")["status"]
+        return self.request("status", id=job_id)["job"]
+
+    def result(self, job_id: str) -> dict:
+        return self.request("result", id=job_id)
+
+    def wait(self, job_id: str) -> dict:
+        """Block until ``job_id`` is terminal; returns the result response."""
+        return self.request("wait", id=job_id)
+
+    def shutdown(self) -> None:
+        self.request("shutdown")
+
+
+def connect(
+    path: str,
+    retry_for_s: float = 0.0,
+    timeout: Optional[float] = None,
+) -> ServeClient:
+    """Connect to ``path``, optionally retrying while the server boots."""
+    deadline = time.monotonic() + retry_for_s
+    while True:
+        try:
+            return ServeClient(path, timeout=timeout)
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.05)

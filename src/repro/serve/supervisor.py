@@ -1,0 +1,528 @@
+"""Job supervisor: dispatch, worker supervision, retry, preemption.
+
+The :class:`Supervisor` is the service's synchronous core: one
+:meth:`poll` call performs a complete supervision tick — reap worker
+messages, detect dead/wedged/timed-out workers, admit backed-off retries,
+preempt for deadline jobs, and dispatch pending work into free slots.
+The asyncio server (``repro.serve.server``) just calls ``poll()`` on a
+timer; unit tests call it directly with an injected clock, spawn function,
+and heartbeat probe, so every failure path is exercisable in milliseconds
+without real processes.
+
+Workers are the *grid's* workers: each dispatch builds a
+:class:`repro.harness.grid.GridPoint` and forks
+``repro.harness.grid._worker_entry`` — the same entry point, pipe
+protocol, and result serialization as ``run_grid``, so serve inherits the
+grid's determinism and store adoption for free.  Every run gets a
+periodic checkpoint (resume point for kills) and, when preemptible, a
+park file the supervisor can touch to request a cooperative preemption
+(``repro.engine.checkpoint.ParkDaemon``).
+
+Supervision verdicts per worker, in check order:
+
+1. message received — terminal (``ok``/``deadlock``/``violation``),
+   ``parked``, or a retryable error;
+2. process died without a message — retryable (``worker-died``);
+3. wall-clock budget exceeded — kill, retryable (``timeout``);
+4. heartbeat snapshot too old — kill, retryable (``wedged``);
+5. park grace expired — kill, requeue *without* burning an attempt
+   (``park-timeout``; the job restarts from its last periodic snapshot).
+
+Retryable failures wait out the policy's decorrelated-jitter backoff
+(shared helper with the grid: ``repro.harness.retry``); a job that fails
+``max_attempts`` times is quarantined as terminally ``failed`` — one
+poison job can never wedge the service.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.harness.retry import Backoff
+from repro.serve.journal import Journal
+from repro.serve.policy import ServePolicy, admission_reason
+from repro.serve.queue import Job, JobQueue, JobRecord
+
+#: Errors that are deterministic functions of the job — retrying would
+#: only reproduce them (mirrors the grid's retryable=False set).
+DETERMINISTIC_ERRORS = ("deadlock", "violation")
+
+
+class WorkerHandle:
+    """A live grid worker process plus its result pipe."""
+
+    def __init__(self, proc, conn):
+        self.proc = proc
+        self.conn = conn
+
+    @property
+    def pid(self) -> int:
+        return self.proc.pid
+
+    def alive(self) -> bool:
+        return self.proc.is_alive()
+
+    def poll_message(self):
+        """The worker's (status, payload) message, or None; "gone" when
+        the pipe broke before any message arrived."""
+        try:
+            if not self.conn.poll(0):
+                return None
+            return self.conn.recv()
+        except (EOFError, OSError):
+            return ("gone", None)
+
+    def kill(self) -> None:
+        if self.proc.is_alive():
+            self.proc.kill()
+
+    def close(self) -> None:
+        try:
+            self.conn.close()
+        except Exception:
+            pass
+        if self.proc.is_alive():
+            self.proc.terminate()
+        self.proc.join()
+
+
+def spawn_grid_worker(record: JobRecord, checkpoint: dict) -> WorkerHandle:
+    """Fork one grid worker for ``record`` (the default spawn function)."""
+    from repro.harness import grid, runner
+
+    store = runner.get_result_store()
+    results_dir = str(store.root) if store is not None else None
+    ctx = grid._mp_context()
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    point = grid.GridPoint(**record.job.grid_fields(), checkpoint=checkpoint)
+    proc = ctx.Process(
+        target=grid._worker_entry,
+        args=(child_conn, point.as_fields(), results_dir),
+        daemon=True,
+    )
+    # The fork inherits the environment: ledger lines written by this
+    # worker carry source "serve" instead of "runner".
+    os.environ["REPRO_LEDGER_SOURCE"] = "serve"
+    try:
+        proc.start()
+    finally:
+        os.environ.pop("REPRO_LEDGER_SOURCE", None)
+    child_conn.close()
+    return WorkerHandle(proc, parent_conn)
+
+
+def default_heartbeat_age(pid: int) -> Optional[float]:
+    """Seconds since worker ``pid`` last replaced a heartbeat snapshot,
+    or None when no snapshot exists (heartbeats off → no wedged verdict,
+    the wall-clock timeout is the only backstop)."""
+    from repro.obs.heartbeat import heartbeat_dir
+
+    directory = heartbeat_dir()
+    if not directory:
+        return None
+    newest = None
+    for path in glob.glob(os.path.join(directory, f"{pid}-*.json")):
+        try:
+            mtime = os.path.getmtime(path)
+        except OSError:
+            continue
+        if newest is None or mtime > newest:
+            newest = mtime
+    if newest is None:
+        return None
+    return max(0.0, time.time() - newest)
+
+
+@dataclass
+class _Active:
+    """Book-keeping for one dispatched worker."""
+
+    record: JobRecord
+    handle: WorkerHandle
+    started_at: float
+    deadline: Optional[float]
+    snapshot_path: str
+    park_path: Optional[str]
+    park_deadline: Optional[float] = None
+
+
+@dataclass
+class _Delayed:
+    """A retry waiting out its backoff."""
+
+    record: JobRecord
+    backoff: Backoff
+
+
+class Supervisor:
+    """Synchronous supervision core for the job service."""
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        journal: Journal,
+        policy: ServePolicy,
+        workdir: str,
+        spawn: Callable[[JobRecord, dict], WorkerHandle] = spawn_grid_worker,
+        clock: Callable[[], float] = time.monotonic,
+        heartbeat_age: Callable[[int], Optional[float]] = default_heartbeat_age,
+        log: Optional[Callable[[str], None]] = None,
+    ):
+        self.queue = queue
+        self.journal = journal
+        self.policy = policy
+        self.workdir = workdir
+        self.snapshots_dir = os.path.join(workdir, "snapshots")
+        os.makedirs(self.snapshots_dir, exist_ok=True)
+        self.spawn = spawn
+        self.clock = clock
+        self.heartbeat_age = heartbeat_age
+        self.log = log or (lambda message: None)
+        self.active: Dict[str, _Active] = {}
+        self.delayed: Dict[str, _Delayed] = {}
+        #: Persistent per-job backoff state (decorrelated jitter carries
+        #: the previous delay across retries of the same job).
+        self._backoffs: Dict[str, Backoff] = {}
+        #: leader job id -> follower records coalesced behind it.
+        self.followers: Dict[str, List[JobRecord]] = {}
+
+    # ------------------------------------------------------------------
+    # Intake
+    # ------------------------------------------------------------------
+    def submit(self, job: Job) -> JobRecord:
+        """Admit (or explicitly reject) one job; returns its record."""
+        jid = self.queue.new_id()
+        reason = admission_reason(self.policy, self.queue, job)
+        if reason is not None:
+            self.journal.append("reject", id=jid, job=job.as_dict(), reason=reason)
+            record = JobRecord(
+                id=jid, job=job, state="rejected",
+                outcome="rejected", message=reason,
+            )
+            self.queue.add(record)
+            self.log(f"{jid} rejected: {reason}")
+            return record
+        self.journal.append("submit", id=jid, job=job.as_dict())
+        record = JobRecord(id=jid, job=job)
+        self.queue.add(record)
+        self.log(f"{jid} submitted: {job.app}/{job.kind}/{job.scale}")
+        return record
+
+    # ------------------------------------------------------------------
+    # The supervision tick
+    # ------------------------------------------------------------------
+    def poll(self) -> None:
+        """One complete supervision pass (cheap; call it on a timer)."""
+        self._reap_messages()
+        self._check_watchdogs()
+        self._admit_delayed()
+        self._maybe_preempt()
+        self._dispatch()
+
+    def idle(self) -> bool:
+        """True when no job can make further progress without new input."""
+        return not self.active and not self.delayed and not any(
+            record.state in ("pending", "parked")
+            for record in self.queue.records.values()
+        )
+
+    def shutdown(self) -> None:
+        """Kill every live worker (their jobs recover from the journal)."""
+        for jid in list(self.active):
+            active = self.active.pop(jid)
+            active.handle.kill()
+            active.handle.close()
+
+    # ------------------------------------------------------------------
+    # Message reaping
+    # ------------------------------------------------------------------
+    def _reap_messages(self) -> None:
+        for jid in list(self.active):
+            active = self.active[jid]
+            message = active.handle.poll_message()
+            if message is not None:
+                status, payload = message
+                self._on_message(jid, active, status, payload)
+            elif not active.handle.alive():
+                self._close(jid)
+                self._retry(active.record, "worker-died",
+                            "worker exited without reporting a result")
+
+    def _on_message(self, jid: str, active: _Active, status, payload) -> None:
+        record = active.record
+        self._close(jid)
+        if status == "ok":
+            self._complete(record, payload["result"])
+        elif status == "parked":
+            self._on_parked(active, payload)
+        elif status in DETERMINISTIC_ERRORS:
+            message = (payload or {}).get("message", status)
+            self._quarantine(record, status, message)
+        elif status == "gone":
+            self._retry(record, "worker-died", "result pipe broke")
+        else:  # "err" payload is the worker's traceback string
+            self._retry(record, "error", str(payload))
+
+    def _close(self, jid: str) -> None:
+        active = self.active.pop(jid)
+        active.handle.close()
+        if active.park_path:
+            # Consume any pending park request so a later resume of this
+            # job is not immediately re-parked by a stale file.
+            try:
+                os.unlink(active.park_path)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # Verdicts
+    # ------------------------------------------------------------------
+    def _complete(self, record: JobRecord, result: dict) -> None:
+        self.journal.append("done", id=record.id, outcome="ok")
+        record.state = "done"
+        record.outcome = "ok"
+        record.result = result
+        record.snapshot = None
+        self._backoffs.pop(record.id, None)
+        self.log(f"{record.id} done")
+        for follower in self.followers.pop(record.id, []):
+            self.journal.append("done", id=follower.id, outcome="dedup")
+            follower.state = "done"
+            follower.outcome = "dedup"
+            follower.result = result
+            self.log(f"{follower.id} done (dedup of {record.id})")
+
+    def _on_parked(self, active: _Active, payload) -> None:
+        record = active.record
+        snapshot = (payload or {}).get("snapshot") or active.snapshot_path
+        self.journal.append(
+            "park", id=record.id,
+            snapshot=snapshot, cycle=(payload or {}).get("cycle"),
+        )
+        record.snapshot = snapshot
+        record.parks += 1
+        self.queue.repark(record)
+        self.log(f"{record.id} parked at cycle {(payload or {}).get('cycle')}")
+
+    def _quarantine(self, record: JobRecord, error: str, message: str) -> None:
+        self.journal.append("failed", id=record.id, error=error, message=message)
+        record.state = "failed"
+        record.outcome = error
+        record.message = message
+        self._backoffs.pop(record.id, None)
+        self.log(f"{record.id} failed: {error}")
+        # Followers must run for themselves now (and will store-hit if the
+        # failure was environmental and a retrying twin later succeeds).
+        for follower in self.followers.pop(record.id, []):
+            follower.dedup_of = None
+            self.queue.requeue(follower)
+
+    def _retry(self, record: JobRecord, error: str, message: str) -> None:
+        if error != "park-timeout" and record.attempts >= self.policy.max_attempts:
+            self._quarantine(
+                record, error,
+                f"quarantined after {record.attempts} attempts: {message}",
+            )
+            return
+        self.journal.append(
+            "retry", id=record.id, attempt=record.attempts, error=error
+        )
+        record.state = "pending"
+        if error == "park-timeout":
+            # Not the job's fault: no backoff, no attempt burned — it
+            # restarts from its last periodic snapshot right away.
+            self.queue.requeue(record)
+            self.log(f"{record.id} park grace expired; requeued")
+            return
+        backoff = self._backoffs.setdefault(
+            record.id, Backoff(self.policy.backoff, clock=self.clock)
+        )
+        delay = backoff.fail()
+        self.delayed[record.id] = _Delayed(record, backoff)
+        self.log(
+            f"{record.id} attempt {record.attempts} failed ({error}); "
+            f"retry in {delay:.2f}s"
+        )
+
+    # ------------------------------------------------------------------
+    # Watchdogs: timeout, wedged, park grace
+    # ------------------------------------------------------------------
+    def _check_watchdogs(self) -> None:
+        now = self.clock()
+        for jid in list(self.active):
+            active = self.active[jid]
+            if active.park_deadline is not None and now > active.park_deadline:
+                active.handle.kill()
+                self._close(jid)
+                self._retry(active.record, "park-timeout",
+                            "worker missed the park grace window")
+            elif active.deadline is not None and now > active.deadline:
+                active.handle.kill()
+                self._close(jid)
+                self._retry(
+                    active.record, "timeout",
+                    f"exceeded {self.policy.timeout_s}s wall budget",
+                )
+            elif self.policy.wedged_after_s is not None:
+                age = self.heartbeat_age(active.handle.pid)
+                if age is not None and age > self.policy.wedged_after_s:
+                    active.handle.kill()
+                    self._close(jid)
+                    self._retry(
+                        active.record, "wedged",
+                        f"no heartbeat for {age:.1f}s",
+                    )
+
+    # ------------------------------------------------------------------
+    # Backoff admission
+    # ------------------------------------------------------------------
+    def _admit_delayed(self) -> None:
+        for jid in list(self.delayed):
+            if self.delayed[jid].backoff.ready():
+                delayed = self.delayed.pop(jid)
+                self.queue.requeue(delayed.record)
+
+    # ------------------------------------------------------------------
+    # Preemption
+    # ------------------------------------------------------------------
+    def _maybe_preempt(self) -> None:
+        """Ask one running batch job to park when a deadline job is stuck
+        behind a full slot table."""
+        if len(self.active) < self.policy.slots:
+            return
+        urgent = self.queue.peek_urgent()
+        if urgent is None or urgent.job.deadline_s is None:
+            return
+        victim = self._pick_victim(urgent)
+        if victim is None:
+            return
+        # Touch the park file; the worker's ParkDaemon sees it at its next
+        # poll boundary, snapshots, and exits with a "parked" message.
+        with open(victim.park_path, "w", encoding="utf-8"):
+            pass
+        victim.park_deadline = self.clock() + self.policy.park_grace_s
+        self.log(
+            f"preempting {victim.record.id} for {urgent.id} "
+            f"(grace {self.policy.park_grace_s}s)"
+        )
+
+    def _pick_victim(self, urgent: JobRecord) -> Optional[_Active]:
+        """The least-urgent parkable worker, or None."""
+        candidates = [
+            active
+            for active in self.active.values()
+            if active.park_path is not None
+            and active.park_deadline is None
+            and active.record.job.deadline_s is None
+            and active.record.job.priority >= urgent.job.priority
+        ]
+        if not candidates:
+            return None
+        # Lowest urgency first; among equals, least sunk simulation time.
+        return max(
+            candidates,
+            key=lambda active: (active.record.job.priority, active.started_at),
+        )
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self) -> None:
+        held = []
+        while len(self.active) < self.policy.slots:
+            record = self.queue.pop_runnable()
+            if record is None:
+                break
+            twin = self.queue.running_twin(record)
+            if twin is not None and record.state == "pending":
+                # Identical work is already in flight: coalesce behind it
+                # instead of simulating twice.
+                self.journal.append("dedup", id=record.id, of=twin.id)
+                record.dedup_of = twin.id
+                self.followers.setdefault(twin.id, []).append(record)
+                self.log(f"{record.id} deduped onto {twin.id}")
+                continue
+            if twin is not None:
+                # A parked record can never follow a twin (its snapshot is
+                # its own); hold it until the twin resolves.
+                held.append(record)
+                continue
+            self._start(record)
+        for record in held:
+            self.queue._push(record)
+
+    def _start(self, record: JobRecord) -> None:
+        snapshot_path = os.path.join(self.snapshots_dir, f"{record.id}.ckpt")
+        parkable = record.job.preemptible and record.job.sampling is None
+        park_path = f"{snapshot_path}.park" if parkable else None
+        checkpoint = dict(
+            path=snapshot_path if record.job.sampling is None else None,
+            interval=(
+                self.policy.checkpoint_interval
+                if record.job.sampling is None
+                else None
+            ),
+            resume=record.job.sampling is None,
+            park_path=park_path,
+            park_poll=self.policy.park_poll,
+        )
+        if park_path is not None:
+            # Never start into a stale park request.
+            try:
+                os.unlink(park_path)
+            except OSError:
+                pass
+        handle = self.spawn(record, checkpoint)
+        record.state = "running"
+        record.attempts += 1
+        resuming = bool(record.snapshot) or os.path.exists(snapshot_path)
+        self.journal.append(
+            "start", id=record.id, pid=handle.pid,
+            attempt=record.attempts, resume=resuming,
+        )
+        now = self.clock()
+        self.active[record.id] = _Active(
+            record=record,
+            handle=handle,
+            started_at=now,
+            deadline=(
+                now + self.policy.timeout_s
+                if self.policy.timeout_s is not None
+                else None
+            ),
+            snapshot_path=snapshot_path,
+            park_path=park_path,
+        )
+        self.log(
+            f"{record.id} started (pid {handle.pid}, attempt {record.attempts}"
+            + (", resume" if resuming else "") + ")"
+        )
+
+    # ------------------------------------------------------------------
+    # Status
+    # ------------------------------------------------------------------
+    def status(self) -> dict:
+        """The service-level snapshot (wire `status` op; `repro top`)."""
+        return {
+            "counts": self.queue.counts(),
+            "slots": self.policy.slots,
+            "active": [
+                {
+                    "id": jid,
+                    "pid": active.handle.pid,
+                    "app": active.record.job.app,
+                    "attempt": active.record.attempts,
+                    "parking": active.park_deadline is not None,
+                }
+                for jid, active in sorted(self.active.items())
+            ],
+            "delayed": sorted(self.delayed),
+            "jobs": [
+                record.public()
+                for _, record in sorted(self.queue.records.items())
+            ],
+        }

@@ -8,6 +8,7 @@ interval sampler's tail-flush invariant, and termlog's JSON mode.
 """
 
 import json
+import os
 
 import pytest
 
@@ -175,8 +176,39 @@ class TestLedger:
         RunLedger(path).record(outcome="ok")
         with open(path, "a") as fh:
             fh.write("{torn line\n[1,2]\n")
-        entries, bad = read_ledger_with_errors(path)
+        entries, bad, torn = read_ledger_with_errors(path)
         assert len(entries) == 1 and bad == 2
+        # Both damaged lines are newline-terminated: that is mid-file
+        # corruption, not the crashed-writer torn-tail signature.
+        assert torn is False
+
+    def test_torn_final_line_is_recoverable_damage(self, tmp_path):
+        """A trailing line cut mid-JSON (no newline) is classified as a
+        torn tail — recoverable crashed-writer damage — not malformed."""
+        path = tmp_path / "ledger.jsonl"
+        ledger = RunLedger(path)
+        ledger.record(outcome="ok", app="a")
+        ledger.record(outcome="ok", app="b")
+        whole = path.read_bytes()
+        # Truncate mid-way through the final line, as SIGKILL during the
+        # append would (O_APPEND writes are atomic, but the test models a
+        # partially flushed page after a power cut).
+        path.write_bytes(whole[: len(whole) - 17])
+        entries, bad, torn = read_ledger_with_errors(path)
+        assert [e["app"] for e in entries] == ["a"]
+        assert bad == 0 and torn is True
+
+    def test_torn_tail_reported_by_report(self, tmp_path):
+        from repro.obs.report import report_from_file
+
+        path = tmp_path / "ledger.jsonl"
+        RunLedger(path).record(outcome="ok", app="a", kind="k", scale="s")
+        with open(path, "a") as fh:
+            fh.write('{"outcome": "ok", "app":')  # no newline
+        summary = report_from_file(str(path))
+        assert summary["torn_tail"] is True
+        assert summary["runs"] == 1
+        assert summary["malformed_lines"] == 0
 
     def test_one_line_per_outcome(self, tmp_path):
         """ok, memo-hit, store-hit, and failed each append exactly one line."""
@@ -268,8 +300,10 @@ class TestProfiler:
 # ----------------------------------------------------------------------
 class TestTop:
     def _write_snap(self, directory, name, **overrides):
+        # Default pid is our own (a live writer); dead-writer tests
+        # override it with a reaped child's pid.
         snap = {
-            "schema": 1, "pid": 123, "status": "running", "error": None,
+            "schema": 1, "pid": os.getpid(), "status": "running", "error": None,
             "meta": {"app": "cilk5-cs", "kind": "bt-mesi", "scale": "tiny"},
             "started_at": 0.0, "updated_at": 100.0, "wall_s": 100.0,
             "beats": 3, "cycle": 5000, "max_cycles": 10000,
@@ -314,6 +348,57 @@ class TestTop:
         assert "stale?" in frame
         # Core bar: core0 >=75% busy (#), core1 idle with queued work (!).
         assert "#!" in frame
+
+    def test_stale_threshold_configurable(self, tmp_path):
+        from repro.obs.top import read_snapshots, render
+
+        self._write_snap(tmp_path, "a.json", updated_at=100.0)
+        snaps, _ = read_snapshots(str(tmp_path))
+        # 110s of silence: stale under the default 30s, fine under 500s.
+        assert "stale?" in render(snaps, now=210.0)
+        assert "stale?" not in render(snaps, now=210.0, stale_after=500.0)
+
+    @staticmethod
+    def _dead_pid():
+        """A pid guaranteed dead: fork a child and reap it."""
+        pid = os.fork()
+        if pid == 0:
+            os._exit(0)
+        os.waitpid(pid, 0)
+        return pid
+
+    def test_dead_writer_labeled_dead_not_stale(self, tmp_path):
+        from repro.obs.top import read_snapshots, render
+
+        self._write_snap(tmp_path, "a.json", pid=self._dead_pid())
+        snaps, _ = read_snapshots(str(tmp_path))
+        frame = render(snaps, now=1e12)  # far beyond any stale threshold
+        assert "dead" in frame and "stale?" not in frame
+
+    def test_gc_dead_snapshots(self, tmp_path):
+        from repro.obs.top import gc_dead_snapshots, read_snapshots
+
+        self._write_snap(tmp_path, "live.json")
+        self._write_snap(tmp_path, "orphan.json", pid=self._dead_pid())
+        # A *finished* run's writer is expected to be gone: keep the file.
+        self._write_snap(
+            tmp_path, "finished.json", pid=self._dead_pid(), status="done"
+        )
+        removed = gc_dead_snapshots(str(tmp_path))
+        assert removed == ["orphan.json"]
+        names = {s["_file"] for s in read_snapshots(str(tmp_path))[0]}
+        assert names == {"live.json", "finished.json"}
+
+    def test_cli_top_clean_flag(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        self._write_snap(tmp_path, "orphan.json", pid=self._dead_pid())
+        self._write_snap(tmp_path, "live.json")
+        assert main(["top", "--dir", str(tmp_path), "--once", "--clean"]) == 0
+        out = capsys.readouterr().out
+        assert "collected dead snapshot orphan.json" in out
+        assert not (tmp_path / "orphan.json").exists()
+        assert (tmp_path / "live.json").exists()
 
     def test_sweep_gauges(self, tmp_path):
         from repro.obs.top import read_snapshots, sweep_gauges
@@ -361,7 +446,8 @@ class TestReport:
         summary = aggregate(entries, malformed=1)
         assert summary["runs"] == 4
         assert summary["totals"] == {
-            "ok": 1, "store-hit": 1, "memo-hit": 0, "failed": 1, "other": 1,
+            "ok": 1, "store-hit": 1, "memo-hit": 0, "failed": 1,
+            "parked": 0, "other": 1,
         }
         assert summary["simulated"] == 2 and summary["hits"] == 1
         assert summary["hosts"] == 3  # h1/h2 plus the host-less entry

@@ -1,0 +1,158 @@
+"""Unit tests for the shared retry/backoff helper (repro.harness.retry).
+
+Everything runs against an injected clock and RNG — no sleeping, no wall
+time: the helper itself never sleeps, it only answers "when is the next
+attempt eligible?".
+"""
+
+import random
+
+import pytest
+
+from repro.harness.retry import NO_BACKOFF, Backoff, BackoffPolicy
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+class TopRng(random.Random):
+    """uniform() always returns the upper bound — deterministic worst case."""
+
+    def uniform(self, a, b):
+        return b
+
+
+class BottomRng(random.Random):
+    """uniform() always returns the lower bound."""
+
+    def uniform(self, a, b):
+        return a
+
+
+class TestBackoffPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="base_s"):
+            BackoffPolicy(base_s=-1.0)
+        with pytest.raises(ValueError, match="cap_s"):
+            BackoffPolicy(base_s=2.0, cap_s=1.0)
+        with pytest.raises(ValueError, match="multiplier"):
+            BackoffPolicy(multiplier=0.5)
+
+    def test_delays_bounded_by_base_and_cap(self):
+        policy = BackoffPolicy(base_s=0.25, cap_s=10.0, multiplier=3.0)
+        rng = random.Random(7)
+        prev = None
+        for _ in range(50):
+            delay = policy.next_delay(prev, rng)
+            assert policy.base_s <= delay <= policy.cap_s
+            prev = delay
+
+    def test_decorrelated_growth_is_geometric_at_worst_case(self):
+        """With uniform() pinned to its upper bound, delays follow
+        base * multiplier^k exactly until the cap clamps them."""
+        policy = BackoffPolicy(base_s=1.0, cap_s=100.0, multiplier=3.0)
+        rng = TopRng()
+        delays = []
+        prev = None
+        for _ in range(6):
+            prev = policy.next_delay(prev, rng)
+            delays.append(prev)
+        assert delays == [3.0, 9.0, 27.0, 81.0, 100.0, 100.0]
+
+    def test_floor_is_base_at_best_case(self):
+        policy = BackoffPolicy(base_s=1.0, cap_s=100.0, multiplier=3.0)
+        rng = BottomRng()
+        prev = None
+        for _ in range(5):
+            prev = policy.next_delay(prev, rng)
+            assert prev == 1.0
+
+    def test_no_backoff_is_always_zero(self):
+        rng = random.Random(1)
+        assert NO_BACKOFF.next_delay(None, rng) == 0.0
+        assert NO_BACKOFF.next_delay(5.0, rng) == 0.0
+
+
+class TestBackoffState:
+    def test_ready_tracks_injected_clock(self):
+        clock = FakeClock()
+        backoff = Backoff(
+            BackoffPolicy(base_s=1.0, cap_s=100.0, multiplier=3.0),
+            rng=TopRng(),
+            clock=clock,
+        )
+        assert backoff.ready()  # never failed: immediately eligible
+        delay = backoff.fail()
+        assert delay == 3.0
+        assert not backoff.ready()
+        assert backoff.remaining() == pytest.approx(3.0)
+        clock.advance(2.9)
+        assert not backoff.ready()
+        clock.advance(0.2)
+        assert backoff.ready()
+        assert backoff.remaining() == 0.0
+
+    def test_attempts_accumulate_and_reset(self):
+        clock = FakeClock()
+        backoff = Backoff(NO_BACKOFF, clock=clock)
+        backoff.fail()
+        backoff.fail()
+        assert backoff.attempts == 2
+        assert backoff.ready()  # NO_BACKOFF: zero delay
+        backoff.reset()
+        assert backoff.attempts == 0
+        assert backoff.last_delay is None
+
+    def test_successive_failures_compound(self):
+        clock = FakeClock()
+        backoff = Backoff(
+            BackoffPolicy(base_s=1.0, cap_s=100.0, multiplier=3.0),
+            rng=TopRng(),
+            clock=clock,
+        )
+        assert backoff.fail() == 3.0
+        clock.advance(3.0)
+        assert backoff.fail() == 9.0  # grows from the previous delay
+        assert backoff.eligible_at == pytest.approx(clock.t + 9.0)
+
+
+class TestGridIntegration:
+    def test_grid_retries_wait_out_backoff(self, tmp_path):
+        """A failing grid point's retry is delayed by the policy: with a
+        genuine (tiny) backoff the retry still happens and the point is
+        recorded after its attempts are exhausted."""
+        from repro.harness.grid import GridPoint, run_grid
+
+        # A bad app parameter raises inside the worker: a retryable
+        # "error" (unlike deadlock/violation, which never retry).
+        point = GridPoint(
+            "cilk5-mt", "bt-mesi", "tiny", app_overrides={"no_such_param": 1}
+        )
+        results = run_grid(
+            [point, point], jobs=2, retries=1, on_error="record",
+            backoff=BackoffPolicy(base_s=0.01, cap_s=0.05, multiplier=2.0),
+        )
+        assert all(getattr(r, "failed", False) for r in results)
+        assert all(r.attempts == 2 for r in results)
+
+    def test_grid_no_backoff_matches_old_behaviour(self):
+        from repro.harness.grid import GridPoint, run_grid
+
+        point = GridPoint(
+            "cilk5-mt", "bt-mesi", "tiny", app_overrides={"no_such_param": 1}
+        )
+        # Two points: a single-point grid takes the serial path, which
+        # never retries.
+        results = run_grid(
+            [point, point], jobs=2, retries=2, on_error="record",
+            backoff=NO_BACKOFF,
+        )
+        assert all(r.failed and r.attempts == 3 for r in results)
