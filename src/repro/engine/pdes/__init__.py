@@ -1,0 +1,51 @@
+"""Deterministic parallel simulation (conservative PDES).
+
+Three layers, bottom up:
+
+* :mod:`repro.engine.pdes.plan` — the spatial shard planner: partitions
+  the mesh's cores and L2 banks into shards and derives the conservative
+  cross-shard lookahead matrix from minimum hop distances
+  (:class:`ShardPlan`).
+* :mod:`repro.engine.pdes.kernel` — a generic conservative (CMB)
+  null-message kernel: logical processes, monotone timestamped channels,
+  lookahead-bounded safe advance.  Unit-tested against a global event
+  heap on synthetic topologies; the determinism argument for the whole
+  subsystem lives here (DESIGN.md §12).
+* :mod:`repro.engine.pdes.replicate` — the ``--shards N`` execution
+  mode used by the harness: engine-diversified full replicas in worker
+  processes, cross-validated for byte-identity (memory digest, stats,
+  task counts, Perfetto trace) before a result is accepted.
+
+See DESIGN.md §12 for why the replica scheme — not spatial state
+sharding — is the shape that is both exact and faster on this codebase:
+the analytic memory model gives cross-shard memory traffic *zero*
+lookahead, so a faithful spatial split of one machine degenerates to
+per-event lockstep over IPC.
+"""
+
+from repro.engine.pdes.kernel import (
+    Channel,
+    ConservativeKernel,
+    LogicalProcess,
+    PdesKernelError,
+)
+from repro.engine.pdes.plan import ShardPlan, plan_shards
+from repro.engine.pdes.replicate import (
+    PdesDivergenceError,
+    PdesError,
+    ShardUnsupportedError,
+    run_sharded,
+)
+
+__all__ = [
+    "Channel",
+    "ConservativeKernel",
+    "LogicalProcess",
+    "PdesKernelError",
+    "PdesDivergenceError",
+    "PdesError",
+    "ShardPlan",
+    "ShardUnsupportedError",
+    "plan_shards",
+    "run_sharded",
+]

@@ -1,0 +1,253 @@
+"""Conservative (Chandy–Misra–Bryant) null-message kernel.
+
+Generic over the work it schedules: a :class:`LogicalProcess` owns a
+local event heap in ``(time, seq, callback)`` form — the same shape as
+:class:`repro.engine.Simulator` events — plus timestamped input/output
+:class:`Channel` links to other LPs.  Each channel has a fixed positive
+*lookahead*: a message sent at local time t arrives no earlier than
+``t + lookahead``, mirroring the mesh's minimum hop latency between two
+shards (:mod:`repro.engine.pdes.plan`).
+
+Safety rule (the conservative invariant): an LP may execute a local
+event at time t only when every input channel guarantees no message
+with timestamp < t can still arrive — i.e. ``t < min(channel clocks)``.
+Progress comes from null messages: whenever an LP stalls, it advertises
+on every output channel the earliest time it could possibly send
+(``min(next local event, input bound) + lookahead``).  With all
+lookaheads > 0 the minimum clock in the system strictly increases every
+round, so the kernel never deadlocks and never reorders dependent
+events — results are identical to a single global event heap by
+construction.  That argument, spelled out, is DESIGN.md §12's proof
+sketch; ``tests/test_pdes.py`` checks it mechanically by running the
+same topologies through this kernel and a global-heap reference.
+
+The kernel is deliberately in-process and deterministic (LPs stepped in
+index order): it is the verified foundation and measurement instrument
+for cross-shard scheduling, not a throughput device — see DESIGN.md §12
+for why message-granular multiprocess sharding cannot pay for itself on
+this engine, and :mod:`repro.engine.pdes.replicate` for the parallel
+execution mode the harness actually ships.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Callable, Dict, List, Optional, Tuple
+
+INFINITY = float("inf")
+
+
+class PdesKernelError(RuntimeError):
+    """A structural error in an LP topology (zero lookahead, causality)."""
+
+
+class Channel:
+    """A timestamped FIFO link from one LP to another.
+
+    ``clock`` is the receiver's guarantee: no future (non-null) message
+    will carry a timestamp below it.  Senders may only raise it —
+    timestamps on one channel must be non-decreasing, which the mesh
+    guarantees physically (a later send cannot arrive earlier) and this
+    class enforces mechanically.
+    """
+
+    __slots__ = ("src", "dst", "lookahead", "clock", "queue")
+
+    def __init__(self, src: "LogicalProcess", dst: "LogicalProcess",
+                 lookahead: int):
+        if lookahead <= 0:
+            raise PdesKernelError(
+                f"channel {src.name}->{dst.name}: lookahead must be "
+                f"positive, got {lookahead} (zero lookahead makes "
+                "conservative advance impossible)"
+            )
+        self.src = src
+        self.dst = dst
+        self.lookahead = lookahead
+        self.clock: float = 0.0
+        self.queue: deque = deque()  # (arrival time, payload)
+
+    def send(self, arrival: float, payload) -> None:
+        """Enqueue a real message arriving at ``arrival``."""
+        if arrival < self.clock:
+            raise PdesKernelError(
+                f"causality violation on {self.src.name}->{self.dst.name}: "
+                f"message at t={arrival} after clock advanced to {self.clock}"
+            )
+        self.clock = arrival
+        self.queue.append((arrival, payload))
+
+    def advance(self, bound: float) -> None:
+        """Null message: promise no real message before ``bound``."""
+        if bound > self.clock:
+            self.clock = bound
+
+
+class LogicalProcess:
+    """One shard of the simulated world: a local event heap + channels."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.now: float = 0.0
+        self._heap: List[Tuple[float, int, Callable]] = []
+        self._seq = 0
+        self.inputs: List[Channel] = []
+        self.outputs: Dict[str, Channel] = {}
+        #: Events executed (for tests and the lookahead accounting).
+        self.executed = 0
+
+    # ------------------------------------------------------------------
+    # Local scheduling (mirrors Simulator.schedule)
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable) -> None:
+        self.schedule_at(self.now + delay, fn)
+
+    def schedule_at(self, when: float, fn: Callable) -> None:
+        if when < self.now:
+            raise PdesKernelError(
+                f"{self.name}: cannot schedule at t={when} < now={self.now}"
+            )
+        heapq.heappush(self._heap, (when, self._seq, fn))
+        self._seq += 1
+
+    # ------------------------------------------------------------------
+    # Cross-LP messaging
+    # ------------------------------------------------------------------
+    def connect(self, other: "LogicalProcess", lookahead: int) -> Channel:
+        channel = Channel(self, other, lookahead)
+        self.outputs[other.name] = channel
+        other.inputs.append(channel)
+        return channel
+
+    def send(self, dst_name: str, payload, extra_delay: float = 0.0) -> None:
+        """Send ``payload``; it arrives at ``now + lookahead + extra``."""
+        if extra_delay < 0:
+            raise PdesKernelError(f"{self.name}: negative extra_delay")
+        channel = self.outputs[dst_name]
+        channel.send(self.now + channel.lookahead + extra_delay, payload)
+
+    def on_message(self, when: float, payload) -> None:
+        """Convert an arrived message into local work.  Subclasses (or
+        instances with a ``handler`` attribute) decide what it means."""
+        handler = getattr(self, "handler", None)
+        if handler is None:
+            raise PdesKernelError(f"{self.name}: no message handler")
+        self.schedule_at(when, lambda: handler(self, payload))
+
+    # ------------------------------------------------------------------
+    # Conservative bounds
+    # ------------------------------------------------------------------
+    def input_bound(self) -> float:
+        """Earliest time a not-yet-seen message could still arrive."""
+        if not self.inputs:
+            return INFINITY
+        return min(channel.clock for channel in self.inputs)
+
+    def next_local_time(self) -> float:
+        return self._heap[0][0] if self._heap else INFINITY
+
+    def earliest_send(self) -> float:
+        """Lower bound on this LP's next activation (event or message)."""
+        return min(self.next_local_time(), self.input_bound())
+
+
+class ConservativeKernel:
+    """Drives a set of LPs to completion under the conservative rule.
+
+    Deterministic: LPs are stepped in registration order, and each LP's
+    local heap preserves the ``(time, seq)`` order of a serial run.
+    ``run`` returns when every heap and channel is empty (or ``until``
+    is reached); a round that makes no progress raises — with positive
+    lookaheads everywhere that is unreachable, so hitting it means a
+    topology bug, not an input property.
+    """
+
+    def __init__(self):
+        self.lps: List[LogicalProcess] = []
+        self.null_messages = 0
+        self.rounds = 0
+
+    def add(self, lp: LogicalProcess) -> LogicalProcess:
+        self.lps.append(lp)
+        return lp
+
+    # ------------------------------------------------------------------
+    def _drain_inputs(self, lp: LogicalProcess) -> None:
+        for channel in lp.inputs:
+            while channel.queue:
+                when, payload = channel.queue.popleft()
+                lp.on_message(when, payload)
+
+    def _step(self, lp: LogicalProcess) -> int:
+        """Execute every safe local event; returns how many ran."""
+        bound = lp.input_bound()
+        ran = 0
+        while lp._heap and lp._heap[0][0] < bound:
+            when, _seq, fn = heapq.heappop(lp._heap)
+            lp.now = when
+            fn()
+            ran += 1
+            lp.executed += 1
+            # fn may have sent messages that raised a *different* LP's
+            # bound, never this one's inputs mid-step: a message to self
+            # is a local schedule, so the bound stays valid.
+        return ran
+
+    def _advertise(self, lp: LogicalProcess) -> None:
+        horizon = lp.earliest_send()
+        for channel in lp.outputs.values():
+            bound = horizon + channel.lookahead if horizon < INFINITY else INFINITY
+            if bound > channel.clock:
+                channel.advance(bound)
+                self.null_messages += 1
+
+    def idle(self) -> bool:
+        return all(
+            not lp._heap and not any(ch.queue for ch in lp.inputs)
+            for lp in self.lps
+        )
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run to quiescence (or ``until``); returns the max LP clock."""
+        while not self.idle():
+            self.rounds += 1
+            progressed = 0
+            for lp in self.lps:
+                self._drain_inputs(lp)
+                if until is not None and lp.next_local_time() > until:
+                    continue
+                progressed += self._step(lp)
+            for lp in self.lps:
+                self._advertise(lp)
+            if progressed == 0:
+                if until is not None and all(
+                    lp.next_local_time() > until for lp in self.lps
+                ):
+                    break
+                if self.idle():
+                    break
+                # advertise() strictly raises min clock when lookaheads
+                # are positive; re-check before declaring deadlock.
+                safe = any(
+                    lp._heap and lp._heap[0][0] < lp.input_bound()
+                    for lp in self.lps
+                )
+                if not safe and not self._clocks_can_rise():
+                    raise PdesKernelError(
+                        "conservative kernel wedged: no LP can advance "
+                        "(is some lookahead effectively zero?)"
+                    )
+        return max((lp.now for lp in self.lps), default=0.0)
+
+    def _clocks_can_rise(self) -> bool:
+        """True if another advertise round would raise some input bound."""
+        for lp in self.lps:
+            horizon = lp.earliest_send()
+            for channel in lp.outputs.values():
+                bound = (
+                    horizon + channel.lookahead if horizon < INFINITY else INFINITY
+                )
+                if bound > channel.clock:
+                    return True
+        return False

@@ -1,0 +1,142 @@
+"""Spatial shard planner: mesh partition + conservative lookahead matrix.
+
+A shard owns a contiguous block of mesh *columns*: every core whose tile
+falls in those columns (plus its private L1) and every L2 bank whose
+home column falls in them (banks live one virtual row below the core
+mesh, :meth:`repro.noc.Mesh.bank_position`).  Column blocks keep each
+shard's resources geometrically adjacent, so the minimum distance
+between two shards — which bounds how far one may run ahead of the
+other — is the horizontal hop gap between their column ranges.
+
+The lookahead entry for an ordered shard pair (A, B) is the latency of
+the cheapest possible message from any resource of A to any resource of
+B: minimum XY hops times per-hop (router + channel) latency, for a
+single-flit message.  This is exactly the conservative bound classic
+null-message PDES needs (DESIGN.md §12): no event executed in A at
+local time t can affect B before t + lookahead(A, B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.noc.mesh import Mesh, MeshConfig, Position
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The spatial decomposition of one machine into ``n_shards`` shards."""
+
+    n_shards: int
+    mesh_rows: int
+    mesh_cols: int
+    #: Per shard: the contiguous (start, stop) column range it owns.
+    columns: Tuple[Tuple[int, int], ...]
+    #: Per shard: core ids (ascending) whose tiles fall in its columns.
+    cores: Tuple[Tuple[int, ...], ...]
+    #: Per shard: L2 bank ids (ascending) homed in its columns.
+    banks: Tuple[Tuple[int, ...], ...]
+    #: Conservative lookahead in cycles for each ordered shard pair
+    #: (i, j), i != j: no event in shard i can affect shard j sooner.
+    lookahead: Dict[Tuple[int, int], int]
+    #: min over all ordered pairs — the global conservative advance bound.
+    min_cross_shard_latency: int
+
+    def shard_of_core(self, core_id: int) -> int:
+        for shard, members in enumerate(self.cores):
+            if core_id in members:
+                return shard
+        raise ValueError(f"core {core_id} not in any shard")
+
+    def shard_of_bank(self, bank_id: int) -> int:
+        for shard, members in enumerate(self.banks):
+            if bank_id in members:
+                return shard
+        raise ValueError(f"bank {bank_id} not in any shard")
+
+
+def _column_blocks(cols: int, n_shards: int) -> List[Tuple[int, int]]:
+    """Split ``cols`` columns into ``n_shards`` contiguous balanced blocks."""
+    base, extra = divmod(cols, n_shards)
+    blocks = []
+    start = 0
+    for shard in range(n_shards):
+        width = base + (1 if shard < extra else 0)
+        blocks.append((start, start + width))
+        start += width
+    return blocks
+
+
+def plan_shards(config, n_shards: int) -> ShardPlan:
+    """Partition the machine described by ``config`` into ``n_shards``.
+
+    ``config`` is a :class:`repro.config.SystemConfig` (anything with
+    ``mesh_rows``, ``mesh_cols``, ``n_cores``, ``n_l2_banks``).  Raises
+    ``ValueError`` when the geometry cannot support the split: more
+    shards than mesh columns would leave a shard without resources, and
+    a single column cannot be cut.
+    """
+    rows, cols = config.mesh_rows, config.mesh_cols
+    if n_shards < 1:
+        raise ValueError(f"need at least one shard, got {n_shards}")
+    if n_shards > cols:
+        raise ValueError(
+            f"{n_shards} shards over a {rows}x{cols} mesh: at most one "
+            "shard per column"
+        )
+    mesh = Mesh(MeshConfig(rows=rows, cols=cols))
+    blocks = _column_blocks(cols, n_shards)
+
+    def owner(col: int) -> int:
+        for shard, (start, stop) in enumerate(blocks):
+            if start <= col < stop:
+                return shard
+        raise AssertionError(f"column {col} unowned")
+
+    cores: List[List[int]] = [[] for _ in range(n_shards)]
+    positions: List[List[Position]] = [[] for _ in range(n_shards)]
+    for core_id in range(config.n_cores):
+        pos = mesh.core_position(core_id)
+        shard = owner(pos[1])
+        cores[shard].append(core_id)
+        positions[shard].append(pos)
+    banks: List[List[int]] = [[] for _ in range(n_shards)]
+    for bank_id in range(config.n_l2_banks):
+        pos = mesh.bank_position(bank_id, config.n_l2_banks)
+        shard = owner(pos[1])
+        banks[shard].append(bank_id)
+        positions[shard].append(pos)
+
+    per_hop = mesh.config.router_latency + mesh.config.channel_latency
+    lookahead: Dict[Tuple[int, int], int] = {}
+    for i in range(n_shards):
+        for j in range(n_shards):
+            if i == j:
+                continue
+            min_hops = min(
+                mesh.hops(a, b)
+                for a in positions[i]
+                for b in positions[j]
+            )
+            # A single-flit message pays no serialization tail, so the
+            # cheapest cross-shard interaction is pure hop latency.
+            lookahead[(i, j)] = min_hops * per_hop
+    min_latency = min(lookahead.values()) if lookahead else 0
+    if n_shards > 1 and min_latency <= 0:
+        # Cannot happen with disjoint column blocks (>= 1 hop apart), but
+        # the kernel's progress guarantee depends on it — assert loudly.
+        raise ValueError(
+            "shard plan has zero cross-shard lookahead; conservative "
+            "advance would deadlock"
+        )
+    return ShardPlan(
+        n_shards=n_shards,
+        mesh_rows=rows,
+        mesh_cols=cols,
+        columns=tuple(blocks),
+        cores=tuple(tuple(c) for c in cores),
+        banks=tuple(tuple(b) for b in banks),
+        lookahead=lookahead,
+        min_cross_shard_latency=min_latency,
+    )

@@ -1,0 +1,403 @@
+"""The ``--shards N`` execution mode: validated engine-diversified replicas.
+
+DESIGN.md §12 derives why a faithful *spatial* split of one machine
+across processes cannot be exact **and** fast here: the analytic memory
+model applies cross-tile effects synchronously at issue time, so the
+cross-shard lookahead for memory traffic is zero and conservative
+advance degenerates to per-event lockstep over IPC (three to four
+orders of magnitude slower than the serial engine's 0.37 µs/op).  What
+*does* parallelize — perfectly — is the repo's existing differential
+validation discipline: every trusted exact run is really K runs under
+diversified engines (fused vs unfused event handling,
+``repro.harness.perf.run_entry``) whose observables must agree.
+
+``run_sharded`` runs those K legs concurrently instead of serially:
+``N`` worker processes each simulate the *whole* machine under a
+different engine variant, and the coordinator accepts a result only
+when every replica's memory digest, ``StatGroup.flatten``, task/steal
+counts, and Perfetto trace bytes are identical.  Results are therefore
+byte-identical to ``--shards 1`` *by checked construction* — a
+divergence raises :class:`PdesDivergenceError` instead of returning —
+and the wall-clock win is real on multi-core hosts: a validated run
+costs ``max`` instead of ``sum`` of its legs.
+
+The spatial planner (:mod:`repro.engine.pdes.plan`) still runs first:
+it validates the shard geometry and prices the cross-shard lookahead,
+which the coordinator reports (``pdes_min_lookahead``) and the stall
+accounting uses as its label — coordinator time spent blocked on
+replica barriers is attributed to the ``pdes.lookahead`` profiler
+component.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from typing import Dict, List, Optional
+
+from repro.engine.pdes.plan import plan_shards
+
+
+class PdesError(RuntimeError):
+    """Base class for sharded-execution failures."""
+
+
+class ShardUnsupportedError(PdesError):
+    """A feature combination that cannot run sharded (refused loudly)."""
+
+
+class PdesDivergenceError(PdesError):
+    """Replicas disagreed on an observable — the run is NOT trustworthy."""
+
+
+#: Profiler label for coordinator time spent blocked waiting on replicas.
+LOOKAHEAD_LABEL = "pdes.lookahead"
+
+#: Monotone token source for heartbeat grouping (`repro top` merges all
+#: shards of one group into a single frame).
+_GROUP_SEQ = 0
+
+
+def _engine_variant(shard: int) -> bool:
+    """Fusion setting for one replica: alternate so at least two engine
+    variants are always represented (the differential premise)."""
+    return shard % 2 == 0
+
+
+def _replica_observables(
+    run_kwargs: dict,
+    shard: int,
+    n_shards: int,
+    group: str,
+    want_trace: bool,
+    sample_interval: Optional[int] = None,
+) -> dict:
+    """Run one full replica in this process; return its observables.
+
+    Mirrors the exact-mode path of ``runner._simulate_experiment`` (and
+    ``perf._run_once``): fresh machine, optional tracer, optional
+    watchdog, ``app.check()``.  The result dict is what the coordinator
+    cross-validates and (for shard 0) returns to the caller.
+    """
+    from repro.apps import make_app
+    from repro.config import make_config
+    from repro.core import WorkStealingRuntime
+    from repro.harness.export import result_to_dict
+    from repro.harness.params import app_params
+    from repro.harness.runner import assemble_result
+    from repro.machine import Machine
+    from repro.obs.heartbeat import heartbeat_dir
+
+    app_name = run_kwargs["app_name"]
+    kind = run_kwargs["kind"]
+    scale = run_kwargs["scale"]
+    serial = bool(run_kwargs.get("serial", False))
+    tracer = None
+    if want_trace:
+        from repro.trace import Tracer
+
+        tracer = Tracer()
+    params = app_params(app_name, scale, **(run_kwargs.get("app_overrides") or {}))
+    app = make_app(app_name, **params)
+    machine = Machine(
+        make_config(kind, scale, **(run_kwargs.get("config_overrides") or {})),
+        tracer=tracer,
+    )
+    app.setup(machine)
+    machine.sim.fusion_enabled = _engine_variant(shard)
+    rt_kwargs = dict(run_kwargs.get("runtime_kwargs") or {})
+    if serial:
+        rt_kwargs["serial_elision"] = True
+    if run_kwargs.get("watchdog") is not None:
+        rt_kwargs["watchdog"] = run_kwargs["watchdog"]
+    runtime = WorkStealingRuntime(machine, **rt_kwargs)
+
+    sampler = None
+    if tracer is not None and sample_interval is not None:
+        from repro.obs.metrics import machine_metrics
+        from repro.trace.sampler import IntervalSampler
+
+        # engine=False, exactly like runner._simulate_experiment: fusion
+        # gauges differ between the diversified engines, and the sampled
+        # counter tracks must stay byte-identical across replicas.
+        sampler = IntervalSampler(
+            machine.sim, machine_metrics(machine, engine=False).collect,
+            sample_interval, tracer=tracer,
+        )
+        sampler.start()
+
+    heartbeat = None
+    hb_dir = heartbeat_dir()
+    if hb_dir:
+        from repro.obs.heartbeat import HeartbeatWriter
+
+        heartbeat = HeartbeatWriter.for_run(
+            machine, runtime, hb_dir,
+            meta={
+                "app": app_name,
+                "kind": kind,
+                "scale": scale,
+                "serial": serial,
+                "shard": shard,
+                "shards": n_shards,
+                "pdes_group": group,
+            },
+        )
+        heartbeat.start()
+    try:
+        cycles = runtime.run(app.make_root(serial=False))
+    except BaseException:
+        if heartbeat is not None:
+            heartbeat.finalize("failed", error="replica failed")
+        raise
+    trace_text = None
+    if tracer is not None:
+        if sampler is not None:
+            sampler.finalize()
+        tracer.core_labels.update(machine.core_labels())
+        # Identical meta to a --shards 1 traced run: the exported bytes
+        # must match the serial engine's byte for byte.
+        tracer.set_meta(
+            app=app_name, kind=kind, scale=scale, serial=serial,
+            seed=machine.config.seed, n_cores=machine.config.n_cores,
+            cycles=cycles, sample_interval=sample_interval,
+        )
+        tracer.finish(machine.sim.now)
+        from repro.trace import export_chrome_trace
+
+        trace_text = export_chrome_trace(tracer)
+    if run_kwargs.get("check", True):
+        app.check()
+    result = assemble_result(
+        app_name, kind, scale, serial, machine, runtime, cycles
+    )
+    if heartbeat is not None:
+        heartbeat.finalize("done")
+    observables = {
+        "shard": shard,
+        "fusion": _engine_variant(shard),
+        "result": result_to_dict(result),
+        "digest": machine.memory_digest(machine.address_space.regions()),
+        "flatten": machine.stats.flatten(),
+        "trace_sha": (
+            hashlib.sha256(trace_text.encode()).hexdigest()
+            if trace_text is not None
+            else None
+        ),
+        # Only shard 0 ships the (potentially large) trace body; the
+        # other replicas are compared by digest.
+        "trace": trace_text if shard == 0 else None,
+    }
+    return observables
+
+
+def _shard_worker(conn, run_kwargs: dict, shard: int, n_shards: int,
+                  group: str, want_trace: bool,
+                  sample_interval: Optional[int] = None) -> None:
+    """Worker process entry: run one replica, report observables."""
+    try:
+        payload = _replica_observables(
+            run_kwargs, shard, n_shards, group, want_trace, sample_interval
+        )
+        conn.send(("ok", payload))
+    except BaseException as exc:  # report, never hang the coordinator
+        import traceback
+
+        try:
+            conn.send(("err", f"{exc!r}\n{traceback.format_exc()}"))
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+def _check_supported(run_kwargs: dict) -> None:
+    """Refuse loudly (like sampled-park does) what replicas cannot honor."""
+    if run_kwargs.get("sampling") is not None:
+        raise ShardUnsupportedError(
+            "sampled runs cannot be sharded: extrapolated estimates have "
+            "no byte-identity oracle to validate replicas against"
+        )
+    ckpt = run_kwargs.get("checkpoint")
+    if ckpt is not None:
+        fields = (
+            ckpt if isinstance(ckpt, dict)
+            else {k: getattr(ckpt, k, None)
+                  for k in ("path", "interval", "resume", "park_path")}
+        )
+        if isinstance(ckpt, str) or any(
+            fields.get(k) for k in ("path", "interval", "resume", "park_path")
+        ):
+            raise ShardUnsupportedError(
+                "checkpointed runs cannot be sharded: a snapshot captures "
+                "one engine's send log, which cannot restore N diversified "
+                "replicas consistently — run with --shards 1 to checkpoint"
+            )
+    if run_kwargs.get("faults") is not None:
+        raise ShardUnsupportedError(
+            "faulted runs cannot be sharded: fault sites fire per engine "
+            "schedule, so replicas would diverge by construction"
+        )
+    if run_kwargs.get("sanitize"):
+        raise ShardUnsupportedError(
+            "sanitized runs cannot be sharded yet: sanitizer walk counts "
+            "land in result extras and differ per engine variant"
+        )
+
+
+def run_sharded(
+    run_kwargs: dict,
+    n_shards: int,
+    trace_path: Optional[str] = None,
+    profiler=None,
+    sample_interval: Optional[int] = None,
+):
+    """Run one experiment as ``n_shards`` validated parallel replicas.
+
+    ``run_kwargs`` is the ``run_experiment`` keyword dict (app_name,
+    kind, scale, serial, check, app_overrides, runtime_kwargs,
+    config_overrides, watchdog; checkpoint/sampling/faults/sanitize are
+    refused).  Returns the validated :class:`ExperimentResult`, with
+    provenance in ``extras`` (``pdes_*`` keys — diagnostics only, never
+    part of result identity).  ``trace_path`` additionally writes shard
+    0's Perfetto trace (validated byte-identical across replicas) to
+    that file.  ``profiler`` (a :class:`repro.obs.profile.WallProfiler`)
+    receives the coordinator's blocked time under the
+    ``pdes.lookahead`` label.  ``sample_interval`` arms each traced
+    replica's interval statistics sampler (counter tracks), matching
+    what ``repro run --trace`` records for a serial run — so the traced
+    bytes compare equal to the serial CLI path, not just to each other.
+    """
+    global _GROUP_SEQ
+    from repro.config import make_config
+    from repro.harness.export import result_from_dict
+    from repro.harness.grid import _mp_context
+
+    if n_shards < 2:
+        raise PdesError(f"run_sharded needs >= 2 shards, got {n_shards}")
+    _check_supported(run_kwargs)
+    config = make_config(
+        run_kwargs["kind"], run_kwargs["scale"],
+        **(run_kwargs.get("config_overrides") or {}),
+    )
+    # The spatial plan validates the geometry (shards vs mesh columns)
+    # and prices the conservative cross-shard bound for the report.
+    plan = plan_shards(config, n_shards)
+    _GROUP_SEQ += 1
+    group = f"{os.getpid()}-{_GROUP_SEQ}"
+    want_trace = trace_path is not None or _validate_traces()
+
+    ctx = _mp_context()
+    workers = []
+    for shard in range(n_shards):
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_shard_worker,
+            args=(child_conn, run_kwargs, shard, n_shards, group, want_trace,
+                  sample_interval),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        workers.append((proc, parent_conn))
+
+    payloads: List[Optional[dict]] = [None] * n_shards
+    stalled_s = 0.0
+    try:
+        for shard, (proc, conn) in enumerate(workers):
+            # Waiting for replica barriers is the sharded run's analog of
+            # conservative lookahead stall; attribute it as such.
+            blocked_at = time.perf_counter()
+            if profiler is not None:
+                profiler.enter(LOOKAHEAD_LABEL)
+            try:
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    raise PdesError(
+                        f"shard {shard} died without reporting a result"
+                    )
+            finally:
+                if profiler is not None:
+                    profiler.exit()
+                stalled_s += time.perf_counter() - blocked_at
+            status, payload = message
+            if status != "ok":
+                raise PdesError(f"shard {shard} failed:\n{payload}")
+            payloads[shard] = payload
+    finally:
+        for proc, conn in workers:
+            try:
+                conn.close()
+            except Exception:
+                pass
+            if proc.is_alive():
+                proc.terminate()
+            proc.join()
+
+    _validate(payloads, want_trace)
+    reference = payloads[0]
+    if trace_path is not None:
+        with open(trace_path, "w", encoding="utf-8", newline="\n") as fh:
+            fh.write(reference["trace"])
+    result = result_from_dict(reference["result"])
+    result.extras["pdes_shards"] = float(n_shards)
+    result.extras["pdes_validated"] = 1.0
+    result.extras["pdes_min_lookahead"] = float(plan.min_cross_shard_latency)
+    result.extras["pdes_lookahead_wall_s"] = stalled_s
+    return result
+
+
+def _validate_traces() -> bool:
+    """Trace cross-validation default (REPRO_PDES_TRACE_CHECK=0 disables;
+    the perf bench turns it off to price the replicas alone)."""
+    return os.environ.get("REPRO_PDES_TRACE_CHECK", "1") != "0"
+
+
+#: ExperimentResult fields excluded from replica comparison: provenance,
+#: not simulation output (ckpt_*/pdes_* markers land here).
+_IGNORED_FIELDS = ("extras",)
+
+
+def _validate(payloads: List[dict], want_trace: bool) -> None:
+    """Raise :class:`PdesDivergenceError` unless all replicas agree."""
+    reference = payloads[0]
+    mismatches: List[str] = []
+    for payload in payloads[1:]:
+        shard = payload["shard"]
+        if payload["digest"] != reference["digest"]:
+            mismatches.append(f"shard {shard}: memory digest differs")
+        if payload["flatten"] != reference["flatten"]:
+            keys = _differing_keys(reference["flatten"], payload["flatten"])
+            mismatches.append(
+                f"shard {shard}: StatGroup.flatten differs ({keys})"
+            )
+        ref_result = {
+            k: v for k, v in reference["result"].items()
+            if k not in _IGNORED_FIELDS
+        }
+        got_result = {
+            k: v for k, v in payload["result"].items()
+            if k not in _IGNORED_FIELDS
+        }
+        if got_result != ref_result:
+            keys = _differing_keys(ref_result, got_result)
+            mismatches.append(f"shard {shard}: result fields differ ({keys})")
+        if want_trace and payload["trace_sha"] != reference["trace_sha"]:
+            mismatches.append(f"shard {shard}: Perfetto trace differs")
+    if mismatches:
+        raise PdesDivergenceError(
+            "replica cross-validation failed — refusing to return a "
+            "result:\n  " + "\n  ".join(mismatches)
+        )
+
+
+def _differing_keys(a: Dict, b: Dict, limit: int = 5) -> str:
+    keys = sorted(
+        k for k in set(a) | set(b) if a.get(k) != b.get(k)
+    )[:limit]
+    return ", ".join(str(k) for k in keys) or "<shape>"

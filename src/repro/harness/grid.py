@@ -97,6 +97,12 @@ class GridPoint:
     #: points pickle across worker processes).  Injected by run_grid's
     #: checkpoint_dir machinery; not part of the experiment's identity.
     checkpoint: Optional[dict] = None
+    #: Validated parallel replicas per point (repro.engine.pdes); None or
+    #: 1 = plain serial run.  An execution strategy, not part of the
+    #: experiment's identity — memo/store keys ignore it.  run_grid divides
+    #: its worker budget by the largest shard count so shards × jobs never
+    #: oversubscribes the host.
+    shards: Optional[int] = None
 
     def label(self) -> str:
         parts = [self.app, self.kind, self.scale]
@@ -114,6 +120,8 @@ class GridPoint:
             parts.append("sanitize")
         if self.sampling is not None:
             parts.append(f"sample={self.sampling}")
+        if self.shards is not None and self.shards > 1:
+            parts.append(f"shards={self.shards}")
         return " ".join(parts)
 
     def as_fields(self) -> dict:
@@ -136,6 +144,7 @@ class GridPoint:
             watchdog=self.watchdog,
             checkpoint=self.checkpoint,
             sampling=self.sampling,
+            shards=self.shards,
         )
 
 
@@ -296,10 +305,55 @@ def _worker_entry(conn, point_kwargs: dict, results_dir: Optional[str]) -> None:
             pass
 
 
+def _live_helper_threads():
+    """Names of live non-daemon threads other than the caller's.
+
+    Forking while a non-daemon helper (ledger appender, heartbeat writer,
+    third-party pool) is running clones whatever locks it holds into the
+    child — where no thread will ever release them — so fork is only safe
+    when none are alive.  Daemon threads are excluded: the obs helpers are
+    daemonic by construction and hold no locks across their sleep.
+    """
+    import threading
+
+    current = threading.current_thread()
+    return [
+        thread.name
+        for thread in threading.enumerate()
+        if thread is not current
+        and not thread.daemon
+        and thread.is_alive()
+    ]
+
+
 def _mp_context():
-    """Prefer fork (cheap, inherits loaded modules); fall back to spawn."""
+    """Pick the multiprocessing start method for grid/serve workers.
+
+    ``REPRO_MP=spawn|fork`` forces a method (``fork`` asserts no live
+    non-daemon helper threads first — a forced fork with helpers alive is
+    a latent deadlock, better refused loudly).  Unset, prefer fork (cheap,
+    inherits loaded modules) unless helper threads are alive or fork is
+    unavailable, in which case fall back to spawn.
+    """
     methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+    choice = os.environ.get("REPRO_MP", "").strip().lower()
+    if choice:
+        if choice not in ("fork", "spawn"):
+            raise ValueError(f"REPRO_MP must be 'spawn' or 'fork', got {choice!r}")
+        if choice not in methods:
+            raise ValueError(f"REPRO_MP={choice} unsupported on this platform")
+        if choice == "fork":
+            helpers = _live_helper_threads()
+            if helpers:
+                raise RuntimeError(
+                    "REPRO_MP=fork with live non-daemon threads "
+                    f"{helpers}: forked children would inherit their locks "
+                    "held forever; stop the helpers or use REPRO_MP=spawn"
+                )
+        return multiprocessing.get_context(choice)
+    if "fork" in methods and not _live_helper_threads():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context("spawn")
 
 
 @dataclass
@@ -486,6 +540,17 @@ def run_grid(
     if jobs is None:
         jobs = default_jobs()
     meter = _Progress(len(points), termlog.progress_enabled(progress))
+    # Sharded points spawn their own replica processes; divide the worker
+    # budget by the widest point so shards × jobs never oversubscribes.
+    max_shards = max((point.shards or 1 for point in points), default=1)
+    if max_shards > 1 and jobs > 1:
+        budgeted = max(1, jobs // max_shards)
+        if budgeted != jobs:
+            meter.note(
+                f"grid: {jobs} jobs / {max_shards}-shard points -> "
+                f"{budgeted} concurrent grid worker(s)"
+            )
+        jobs = budgeted
     if not points:
         return []
     if warm_init:
@@ -542,7 +607,10 @@ def _run_parallel(
         proc = ctx.Process(
             target=_worker_entry,
             args=(child_conn, point.as_fields(), results_dir),
-            daemon=True,
+            # Daemonic processes may not have children, and a sharded
+            # point spawns its own replica workers; the reap machinery
+            # (not daemonization) is what cleans these up either way.
+            daemon=(point.shards or 1) <= 1,
         )
         proc.start()
         child_conn.close()

@@ -62,8 +62,17 @@ class Mesh:
         """
         if n_banks <= 0:
             raise ValueError("need at least one bank")
-        stride = max(1, self.cols // n_banks)
-        col = (bank_id * stride) % self.cols
+        if n_banks > self.cols:
+            raise ValueError(
+                f"{n_banks} banks cannot occupy distinct columns of a "
+                f"{self.rows}x{self.cols} mesh"
+            )
+        if not 0 <= bank_id < n_banks:
+            raise ValueError(f"bank {bank_id} outside 0..{n_banks - 1}")
+        # Evenly spread banks across columns, distributing any remainder
+        # (floor of the ideal fractional position keeps positions distinct
+        # and strictly increasing whenever n_banks <= cols).
+        col = bank_id * self.cols // n_banks
         return (self.rows, col)
 
     # ------------------------------------------------------------------

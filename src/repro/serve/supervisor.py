@@ -115,26 +115,64 @@ def spawn_grid_worker(record: JobRecord, checkpoint: dict) -> WorkerHandle:
     return WorkerHandle(proc, parent_conn)
 
 
-def default_heartbeat_age(pid: int) -> Optional[float]:
-    """Seconds since worker ``pid`` last replaced a heartbeat snapshot,
-    or None when no snapshot exists (heartbeats off → no wedged verdict,
-    the wall-clock timeout is the only backstop)."""
-    from repro.obs.heartbeat import heartbeat_dir
+class HeartbeatAgeTracker:
+    """Ages heartbeat snapshots on the supervisor's injected clock.
 
-    directory = heartbeat_dir()
-    if not directory:
-        return None
-    newest = None
-    for path in glob.glob(os.path.join(directory, f"{pid}-*.json")):
-        try:
-            mtime = os.path.getmtime(path)
-        except OSError:
-            continue
-        if newest is None or mtime > newest:
-            newest = mtime
-    if newest is None:
-        return None
-    return max(0.0, time.time() - newest)
+    File mtimes live in the wall-clock domain (``time.time``) while every
+    supervision verdict runs on the injectable ``clock`` (default
+    ``time.monotonic``); subtracting one from the other lets an NTP step
+    instantly "age" a healthy worker past the wedged threshold — and makes
+    the wedged path untestable under a fake clock.  The tracker therefore
+    never subtracts an mtime from anything: mtimes are compared only for
+    *equality* (did the snapshot change since last look?), each change is
+    stamped with the injected clock, and ages are differences of those
+    stamps.  The first observation of a pid counts as fresh (age 0): the
+    worker gets one full ``wedged_after_s`` window from the moment the
+    supervisor starts watching it, never a head start from stale files.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic):
+        self.clock = clock
+        #: pid -> (newest mtime last seen, injected-clock stamp of that
+        #: observation).  Mtimes are opaque change tokens here.
+        self._seen: Dict[int, tuple] = {}
+
+    @staticmethod
+    def _newest_mtime(pid: int) -> Optional[float]:
+        from repro.obs.heartbeat import heartbeat_dir
+
+        directory = heartbeat_dir()
+        if not directory:
+            return None
+        newest = None
+        for path in glob.glob(os.path.join(directory, f"{pid}-*.json")):
+            try:
+                mtime = os.path.getmtime(path)
+            except OSError:
+                continue
+            if newest is None or mtime > newest:
+                newest = mtime
+        return newest
+
+    def __call__(self, pid: int) -> Optional[float]:
+        """Seconds (on the injected clock) since worker ``pid`` last
+        replaced a heartbeat snapshot, or None when no snapshot exists
+        (heartbeats off → no wedged verdict, the wall-clock timeout is
+        the only backstop)."""
+        newest = self._newest_mtime(pid)
+        if newest is None:
+            self._seen.pop(pid, None)
+            return None
+        now = self.clock()
+        last = self._seen.get(pid)
+        if last is None or last[0] != newest:
+            self._seen[pid] = (newest, now)
+            return 0.0
+        return max(0.0, now - last[1])
+
+    def forget(self, pid: int) -> None:
+        """Drop state for a reaped worker (pids get recycled)."""
+        self._seen.pop(pid, None)
 
 
 @dataclass
@@ -169,7 +207,7 @@ class Supervisor:
         workdir: str,
         spawn: Callable[[JobRecord, dict], WorkerHandle] = spawn_grid_worker,
         clock: Callable[[], float] = time.monotonic,
-        heartbeat_age: Callable[[int], Optional[float]] = default_heartbeat_age,
+        heartbeat_age: Optional[Callable[[int], Optional[float]]] = None,
         log: Optional[Callable[[str], None]] = None,
     ):
         self.queue = queue
@@ -180,7 +218,12 @@ class Supervisor:
         os.makedirs(self.snapshots_dir, exist_ok=True)
         self.spawn = spawn
         self.clock = clock
-        self.heartbeat_age = heartbeat_age
+        # Default tracker shares the supervisor's clock so wedged verdicts
+        # run in the same (fake-steppable) time domain as every other one.
+        self.heartbeat_age = (
+            heartbeat_age if heartbeat_age is not None
+            else HeartbeatAgeTracker(clock)
+        )
         self.log = log or (lambda message: None)
         self.active: Dict[str, _Active] = {}
         self.delayed: Dict[str, _Delayed] = {}
@@ -270,6 +313,9 @@ class Supervisor:
     def _close(self, jid: str) -> None:
         active = self.active.pop(jid)
         active.handle.close()
+        forget = getattr(self.heartbeat_age, "forget", None)
+        if forget is not None:
+            forget(active.handle.pid)
         if active.park_path:
             # Consume any pending park request so a later resume of this
             # job is not immediately re-parked by a stale file.

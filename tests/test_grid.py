@@ -101,6 +101,114 @@ class TestDeterminism:
         assert len(store) == 2
 
 
+class TestMpContext:
+    def test_spawn_override_is_honored(self, monkeypatch):
+        from repro.harness.grid import _mp_context
+
+        monkeypatch.setenv("REPRO_MP", "spawn")
+        assert _mp_context().get_start_method() == "spawn"
+
+    def test_unknown_method_is_rejected(self, monkeypatch):
+        from repro.harness.grid import _mp_context
+
+        monkeypatch.setenv("REPRO_MP", "threads")
+        with pytest.raises(ValueError, match="REPRO_MP"):
+            _mp_context()
+
+    def test_forced_fork_refuses_live_helper_threads(self, monkeypatch):
+        """Regression: fork used to be picked unconditionally; with a live
+        non-daemon helper thread the forked child inherits any lock the
+        helper holds — held forever.  A *forced* fork must refuse loudly."""
+        import threading
+
+        from repro.harness.grid import _mp_context
+
+        release = threading.Event()
+        helper = threading.Thread(
+            target=release.wait, name="obs-helper", daemon=False
+        )
+        helper.start()
+        try:
+            monkeypatch.setenv("REPRO_MP", "fork")
+            with pytest.raises(RuntimeError, match="obs-helper"):
+                _mp_context()
+        finally:
+            release.set()
+            helper.join()
+
+    def test_auto_mode_falls_back_to_spawn_around_helper_threads(
+        self, monkeypatch
+    ):
+        import threading
+
+        from repro.harness.grid import _mp_context
+
+        monkeypatch.delenv("REPRO_MP", raising=False)
+        release = threading.Event()
+        helper = threading.Thread(
+            target=release.wait, name="ledger-appender", daemon=False
+        )
+        helper.start()
+        try:
+            assert _mp_context().get_start_method() == "spawn"
+        finally:
+            release.set()
+            helper.join()
+
+    def test_grid_bit_identical_under_spawn(self, monkeypatch):
+        """One grid sweep must run green — and bit-identical to serial —
+        under ``REPRO_MP=spawn`` (workers re-import instead of forking)."""
+        points = expand_grid(
+            apps=("cilk5-mt",), kinds=("bt-mesi", "bt-hcc-dnv"),
+            scales=("tiny",),
+        )
+        serial = _run_fresh(points, jobs=1)
+        monkeypatch.setenv("REPRO_MP", "spawn")
+        spawned = _run_fresh(points, jobs=2)
+        for a, b in zip(serial, spawned):
+            for field in dataclasses.fields(a):
+                assert getattr(a, field.name) == getattr(b, field.name), field.name
+
+
+class TestShardedPoints:
+    def test_sharded_point_matches_plain_point_under_parallel_grid(self):
+        """A shards=2 point spawns its own replica workers inside a grid
+        worker (which therefore must not be daemonic) and still lands the
+        same result as the plain point in the same slot."""
+        plain = [
+            GridPoint("cilk5-mt", "bt-mesi", "tiny"),
+            GridPoint("cilk5-mt", "bt-hcc-dnv", "tiny"),
+        ]
+        sharded = [dataclasses.replace(p, shards=2) for p in plain]
+        assert sharded[0].label().endswith("shards=2")
+        reference = _run_fresh(plain, jobs=1)
+        got = _run_fresh(sharded, jobs=4)
+        for a, b in zip(reference, got):
+            for field in dataclasses.fields(a):
+                if field.name == "extras":
+                    continue  # pdes_* provenance lands here by design
+                assert getattr(a, field.name) == getattr(b, field.name), field.name
+        assert got[0].extras["pdes_shards"] == 2.0
+
+    def test_worker_budget_is_divided_by_widest_point(self, monkeypatch):
+        from repro.harness import grid as grid_mod
+
+        seen = {}
+        real = grid_mod._run_parallel
+
+        def spy(points, jobs, *args, **kwargs):
+            seen["jobs"] = jobs
+            return real(points, jobs, *args, **kwargs)
+
+        monkeypatch.setattr(grid_mod, "_run_parallel", spy)
+        points = [
+            GridPoint("cilk5-mt", "bt-mesi", "tiny", shards=2),
+            GridPoint("cilk5-mt", "bt-hcc-dnv", "tiny", shards=2),
+        ]
+        _run_fresh(points, jobs=4)
+        assert seen["jobs"] == 2  # 4 jobs / 2-shard points
+
+
 class TestFailureHandling:
     def test_bad_point_raises_grid_error(self):
         bad = GridPoint(

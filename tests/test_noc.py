@@ -35,6 +35,40 @@ class TestMesh:
         cols = {m.bank_position(b, 4)[1] for b in range(4)}
         assert cols == {0, 1, 2, 3}
 
+    def test_paper_8x8_bank_mapping_unchanged(self):
+        """Regression: the paper's one-bank-per-column mapping (Figure 1)
+        must stay exactly (rows, bank_id)."""
+        m = mesh(rows=8, cols=8)
+        for b in range(8):
+            assert m.bank_position(b, 8) == (8, b)
+
+    @pytest.mark.parametrize("cols,n_banks", [
+        (8, 3), (8, 5), (8, 6), (7, 3), (12, 5), (5, 4), (3, 2),
+    ])
+    def test_uneven_bank_counts_get_distinct_spread_columns(self, cols, n_banks):
+        """Regression: ``cols % n_banks != 0`` used to cluster banks on the
+        leftmost columns (stride floor); the mapping must keep columns
+        distinct, monotone, and spread with cyclic gaps differing by <= 1."""
+        m = mesh(rows=2, cols=cols)
+        positions = [m.bank_position(b, n_banks)[1] for b in range(n_banks)]
+        assert len(set(positions)) == n_banks
+        assert positions == sorted(positions)
+        gaps = [
+            (positions[(i + 1) % n_banks] - positions[i]) % cols
+            for i in range(n_banks)
+        ]
+        assert max(gaps) - min(gaps) <= 1
+
+    def test_more_banks_than_columns_is_refused(self):
+        """Regression: ``n_banks > cols`` used to silently collapse several
+        banks onto one column, skewing NoC distance for every consumer."""
+        with pytest.raises(ValueError, match="distinct columns"):
+            mesh(rows=2, cols=4).bank_position(0, 6)
+
+    def test_bank_id_out_of_range_is_refused(self):
+        with pytest.raises(ValueError):
+            mesh().bank_position(4, 4)
+
     @given(st.integers(0, 15), st.integers(0, 15))
     def test_hops_symmetric_and_triangle(self, a, b):
         m = mesh()

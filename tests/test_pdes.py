@@ -1,0 +1,389 @@
+"""Parallel simulation (``repro.engine.pdes``): kernel, planner, replicas.
+
+Three layers, three obligations:
+
+* the conservative (Chandy–Misra–Bryant) kernel must execute exactly the
+  events a single global heap would, in the same per-LP order, and must
+  refuse topologies that break its progress guarantee (zero lookahead,
+  causality violations);
+* the shard planner must partition every preset mesh geometry into
+  column blocks with a strictly positive cross-shard lookahead, and
+  refuse geometries it cannot cut;
+* ``--shards N`` execution must be byte-identical to serial across the
+  full seven-configuration big.TINY matrix — result fields, memory
+  digest, statistics, and Perfetto trace bytes — and must refuse, before
+  any cache probe, every feature combination it cannot validate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import json
+
+import pytest
+
+from helpers import ALL_BIGTINY
+from repro.config import make_config
+from repro.engine.pdes import (
+    Channel,
+    ConservativeKernel,
+    LogicalProcess,
+    PdesDivergenceError,
+    PdesError,
+    PdesKernelError,
+    ShardUnsupportedError,
+    plan_shards,
+    run_sharded,
+)
+from repro.engine.pdes.plan import _column_blocks
+from repro.engine.pdes.replicate import _check_supported, _validate
+from repro.harness import runner
+from repro.harness.runner import run_experiment
+
+
+# ----------------------------------------------------------------------
+# Conservative kernel vs a global-heap reference
+# ----------------------------------------------------------------------
+def _build_ring(n_lps: int, lookahead: int, hops: int, tick_times=()):
+    """A ring of LPs passing one decrementing token, plus local ticks.
+
+    Returns (kernel, logs) where ``logs[i]`` is LP i's execution log of
+    ``(time, tag)`` entries — the observable a global heap must match.
+    """
+    kernel = ConservativeKernel()
+    logs = [[] for _ in range(n_lps)]
+
+    def make_handler(idx):
+        def handler(lp, payload):
+            logs[idx].append((lp.now, ("msg", payload)))
+            if payload > 0:
+                lp.send(f"lp{(idx + 1) % n_lps}", payload - 1)
+
+        return handler
+
+    lps = []
+    for i in range(n_lps):
+        lp = LogicalProcess(f"lp{i}")
+        lp.handler = make_handler(i)
+        kernel.add(lp)
+        lps.append(lp)
+    for i, lp in enumerate(lps):
+        lp.connect(lps[(i + 1) % n_lps], lookahead)
+    for i, lp in enumerate(lps):
+        for t in tick_times:
+            lp.schedule_at(
+                t, (lambda idx=i, when=t: logs[idx].append((when, ("tick",))))
+            )
+    # Seed: lp0 emits the token at t=0 (arrives at lp1 at t=lookahead).
+    lps[0].schedule_at(0, lambda: lps[0].send("lp1", hops))
+    return kernel, logs
+
+
+def _reference_ring(n_lps: int, lookahead: int, hops: int, tick_times=()):
+    """The same ring executed on one global event heap (no channels)."""
+    logs = [[] for _ in range(n_lps)]
+    heap = []
+    seq = 0
+
+    def push(when, fn):
+        nonlocal seq
+        heapq.heappush(heap, (when, seq, fn))
+        seq += 1
+
+    def deliver(idx, when, payload):
+        logs[idx].append((when, ("msg", payload)))
+        if payload > 0:
+            push(when + lookahead, lambda: deliver((idx + 1) % n_lps,
+                                                   when + lookahead,
+                                                   payload - 1))
+
+    for i in range(n_lps):
+        for t in tick_times:
+            push(t, (lambda idx=i, when=t: logs[idx].append((when, ("tick",)))))
+    push(lookahead, lambda: deliver(1, lookahead, hops))
+    while heap:
+        _when, _seq, fn = heapq.heappop(heap)
+        fn()
+    return logs
+
+
+@pytest.mark.parametrize(
+    "n_lps,lookahead,hops",
+    [(2, 1, 7), (2, 3, 10), (4, 2, 13), (4, 5, 4)],
+)
+def test_kernel_ring_matches_global_heap(n_lps, lookahead, hops):
+    kernel, logs = _build_ring(n_lps, lookahead, hops)
+    final = kernel.run()
+    assert logs == _reference_ring(n_lps, lookahead, hops)
+    # The token visits `hops + 1` LPs; the last visit is the max clock.
+    assert sum(len(log) for log in logs) == hops + 1
+    assert final == (hops + 1) * lookahead
+    # Progress came from null messages, not luck.
+    assert kernel.null_messages > 0
+    assert kernel.idle()
+
+
+def test_kernel_interleaves_local_events_with_messages():
+    ticks = (1, 4, 6, 9, 15)
+    kernel, logs = _build_ring(3, 2, 8, tick_times=ticks)
+    kernel.run()
+    assert logs == _reference_ring(3, 2, 8, tick_times=ticks)
+    for log in logs:
+        times = [when for when, _tag in log]
+        assert times == sorted(times)  # per-LP execution is in time order
+
+
+def test_kernel_until_bound_stops_early():
+    kernel, logs = _build_ring(2, 4, 20)
+    kernel.run(until=17)
+    # Only message deliveries at t <= 17 executed: t = 4, 8, 12, 16.
+    assert sum(len(log) for log in logs) == 4
+    assert not kernel.idle()  # the token is still in flight
+
+
+def test_zero_lookahead_channel_is_refused():
+    a, b = LogicalProcess("a"), LogicalProcess("b")
+    with pytest.raises(PdesKernelError, match="lookahead must be positive"):
+        a.connect(b, 0)
+    with pytest.raises(PdesKernelError, match="lookahead must be positive"):
+        Channel(a, b, -3)
+
+
+def test_causality_violation_is_refused():
+    a, b = LogicalProcess("a"), LogicalProcess("b")
+    channel = a.connect(b, 2)
+    channel.advance(10.0)
+    with pytest.raises(PdesKernelError, match="causality violation"):
+        channel.send(5.0, "late")
+
+
+def test_scheduling_into_the_past_is_refused():
+    lp = LogicalProcess("lp")
+    lp.now = 50.0
+    with pytest.raises(PdesKernelError, match="cannot schedule"):
+        lp.schedule_at(49.0, lambda: None)
+    with pytest.raises(PdesKernelError, match="negative extra_delay"):
+        lp.outputs["x"] = Channel(lp, LogicalProcess("x"), 1)
+        lp.send("x", None, extra_delay=-1.0)
+
+
+def test_message_without_handler_is_refused():
+    a, b = LogicalProcess("a"), LogicalProcess("b")
+    a.connect(b, 1)
+    a.schedule_at(0, lambda: a.send("b", "ping"))
+    kernel = ConservativeKernel()
+    kernel.add(a)
+    kernel.add(b)
+    with pytest.raises(PdesKernelError, match="no message handler"):
+        kernel.run()
+
+
+# ----------------------------------------------------------------------
+# Shard planner
+# ----------------------------------------------------------------------
+def test_column_blocks_are_balanced_and_contiguous():
+    assert _column_blocks(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+    assert _column_blocks(7, 3) == [(0, 3), (3, 5), (5, 7)]
+    assert _column_blocks(4, 1) == [(0, 4)]
+    blocks = _column_blocks(32, 5)
+    assert blocks[0][0] == 0 and blocks[-1][1] == 32
+    widths = [stop - start for start, stop in blocks]
+    assert max(widths) - min(widths) <= 1
+    for (_, stop), (start, _) in zip(blocks, blocks[1:]):
+        assert stop == start
+
+
+def test_tiny_two_shard_plan_geometry():
+    plan = plan_shards(make_config("bt-mesi", "tiny"), 2)
+    assert plan.columns == ((0, 1), (1, 2))
+    # Every core and bank is owned by exactly one shard.
+    assert sorted(c for shard in plan.cores for c in shard) == [0, 1, 2, 3]
+    assert sorted(b for shard in plan.banks for b in shard) == [0, 1]
+    assert plan.shard_of_core(plan.cores[1][0]) == 1
+    assert plan.shard_of_bank(plan.banks[0][0]) == 0
+    # Adjacent column blocks: one hop each way, priced identically.
+    assert plan.lookahead[(0, 1)] == plan.lookahead[(1, 0)]
+    assert plan.min_cross_shard_latency > 0
+
+
+@pytest.mark.parametrize("scale,n_shards", [
+    ("tiny", 2), ("quick", 2), ("quick", 4), ("paper", 4), ("paper", 8),
+    ("large", 8),
+])
+def test_every_preset_geometry_plans_with_positive_lookahead(scale, n_shards):
+    config = make_config("bt-mesi", scale)
+    plan = plan_shards(config, n_shards)
+    assert plan.n_shards == n_shards
+    assert sorted(c for shard in plan.cores for c in shard) == list(
+        range(config.n_cores)
+    )
+    assert sorted(b for shard in plan.banks for b in shard) == list(
+        range(config.n_l2_banks)
+    )
+    assert all(shard for shard in plan.cores), "a shard owns no cores"
+    assert plan.min_cross_shard_latency > 0
+    # Distant shards can never be cheaper to reach than adjacent ones.
+    assert plan.lookahead[(0, n_shards - 1)] >= plan.min_cross_shard_latency
+
+
+def test_more_shards_than_columns_is_refused():
+    with pytest.raises(ValueError, match="at most one shard per column"):
+        plan_shards(make_config("bt-mesi", "tiny"), 3)
+    with pytest.raises(ValueError, match="at least one shard"):
+        plan_shards(make_config("bt-mesi", "tiny"), 0)
+
+
+# ----------------------------------------------------------------------
+# Differential byte-identity: --shards N vs serial, full config matrix
+# ----------------------------------------------------------------------
+def _strip_provenance(result) -> dict:
+    fields = dataclasses.asdict(result)
+    fields.pop("extras")
+    return fields
+
+
+@pytest.mark.parametrize("kind", ALL_BIGTINY)
+def test_sharded_run_is_identical_to_serial_on_every_config(kind):
+    serial = run_experiment("cilk5-cs", kind, "tiny", use_cache=False)
+    sharded = run_experiment(
+        "cilk5-cs", kind, "tiny", use_cache=False, shards=2
+    )
+    assert _strip_provenance(sharded) == _strip_provenance(serial)
+    assert sharded.extras["pdes_shards"] == 2.0
+    assert sharded.extras["pdes_validated"] == 1.0
+    assert sharded.extras["pdes_min_lookahead"] > 0
+    # Work stealing (ULI-mediated on dts kinds) actually happened, so the
+    # validated observables cover cross-tile steal traffic, not idle cores.
+    assert serial.steals > 0
+
+
+def test_four_shards_on_quick_scale():
+    serial = run_experiment(
+        "cilk5-cs", "bt-hcc-dts-dnv", "quick", use_cache=False
+    )
+    sharded = run_experiment(
+        "cilk5-cs", "bt-hcc-dts-dnv", "quick", use_cache=False, shards=4
+    )
+    assert _strip_provenance(sharded) == _strip_provenance(serial)
+    assert sharded.extras["pdes_shards"] == 4.0
+    assert serial.steals > 0
+
+
+def test_sharded_trace_bytes_match_serial_trace(tmp_path):
+    from repro.trace import Tracer, export_chrome_trace
+
+    serial_trace = tmp_path / "serial.json"
+    tracer = Tracer()
+    run_experiment(
+        "cilk5-cs", "bt-hcc-dnv", "tiny", use_cache=False,
+        tracer=tracer, sample_interval=500,
+    )
+    serial_trace.write_text(export_chrome_trace(tracer), newline="\n")
+
+    sharded_trace = tmp_path / "sharded.json"
+    run_sharded(
+        dict(app_name="cilk5-cs", kind="bt-hcc-dnv", scale="tiny"),
+        2, trace_path=str(sharded_trace), sample_interval=500,
+    )
+    assert sharded_trace.read_bytes() == serial_trace.read_bytes()
+    meta = json.loads(sharded_trace.read_text())["metadata"]
+    assert meta["sample_interval"] == 500
+
+
+def test_memo_key_is_shard_blind_in_both_directions():
+    """Sharding is an execution strategy, not an experiment parameter:
+    a sharded run must satisfy a later serial probe and vice versa."""
+    runner._CACHE.clear()
+    sharded = run_experiment("cilk5-mt", "bt-hcc-gwt", "tiny", shards=2)
+    sims_after_sharded = runner._SIM_COUNT
+    serial = run_experiment("cilk5-mt", "bt-hcc-gwt", "tiny")
+    assert runner._SIM_COUNT == sims_after_sharded  # memo hit, no re-run
+    assert serial is sharded
+
+    runner._CACHE.clear()
+    serial = run_experiment("cilk5-mt", "bt-hcc-gwt", "tiny")
+    sims_after_serial = runner._SIM_COUNT
+    sharded = run_experiment("cilk5-mt", "bt-hcc-gwt", "tiny", shards=2)
+    assert runner._SIM_COUNT == sims_after_serial
+    assert sharded is serial
+
+
+# ----------------------------------------------------------------------
+# Loud refusals: what replicas cannot validate they must not run
+# ----------------------------------------------------------------------
+def test_checkpoint_under_shards_is_refused_before_any_probe(tmp_path):
+    with pytest.raises(ShardUnsupportedError, match="checkpointed"):
+        run_experiment(
+            "cilk5-cs", "bt-mesi", "tiny", shards=2,
+            checkpoint={"path": str(tmp_path / "snap.ckpt")},
+        )
+    with pytest.raises(ShardUnsupportedError, match="checkpointed"):
+        _check_supported({"checkpoint": str(tmp_path / "snap.ckpt")})
+
+
+def test_sampling_faults_sanitize_tracer_under_shards_are_refused():
+    with pytest.raises(ShardUnsupportedError, match="sampled"):
+        run_experiment("cilk5-cs", "bt-mesi", "tiny", shards=2, sampling="s1")
+    with pytest.raises(ShardUnsupportedError, match="faulted"):
+        run_experiment(
+            "cilk5-cs", "bt-mesi", "tiny", shards=2, faults="timing"
+        )
+    with pytest.raises(ShardUnsupportedError, match="sanitized"):
+        run_experiment("cilk5-cs", "bt-mesi", "tiny", shards=2, sanitize=True)
+    from repro.trace import Tracer
+
+    with pytest.raises(ShardUnsupportedError, match="in-process tracer"):
+        run_experiment(
+            "cilk5-cs", "bt-mesi", "tiny", shards=2, tracer=Tracer()
+        )
+
+
+def test_run_sharded_requires_at_least_two_shards():
+    with pytest.raises(PdesError, match=">= 2 shards"):
+        run_sharded(dict(app_name="cilk5-cs", kind="bt-mesi",
+                         scale="tiny"), 1)
+
+
+def test_shards_beyond_mesh_columns_is_refused():
+    # tiny is a 2x2 mesh: 3 shards cannot each own a column.
+    with pytest.raises(ValueError, match="at most one shard per column"):
+        run_experiment("cilk5-cs", "bt-mesi", "tiny", use_cache=False,
+                       shards=3)
+
+
+# ----------------------------------------------------------------------
+# Divergence detection
+# ----------------------------------------------------------------------
+def _payload(shard, digest="d0", flat=None, result=None, sha="s0"):
+    return {
+        "shard": shard,
+        "fusion": shard % 2 == 0,
+        "digest": digest,
+        "flatten": dict(flat or {"steals": 2.0}),
+        "result": dict(result or {"cycles": 100, "extras": {}}),
+        "trace_sha": sha,
+    }
+
+
+def test_validate_accepts_identical_replicas():
+    _validate([_payload(0), _payload(1)], want_trace=True)
+
+
+def test_validate_reports_every_divergent_observable():
+    bad = _payload(1, digest="dX", flat={"steals": 3.0},
+                   result={"cycles": 101, "extras": {}}, sha="sX")
+    with pytest.raises(PdesDivergenceError) as err:
+        _validate([_payload(0), bad], want_trace=True)
+    message = str(err.value)
+    assert "memory digest differs" in message
+    assert "StatGroup.flatten differs (steals)" in message
+    assert "result fields differ (cycles)" in message
+    assert "Perfetto trace differs" in message
+
+
+def test_validate_ignores_provenance_extras_but_not_results():
+    # extras are lineage, not simulation output: they may differ freely.
+    a = _payload(0, result={"cycles": 100, "extras": {"ckpt_resumed": 1.0}})
+    b = _payload(1, result={"cycles": 100, "extras": {}})
+    _validate([a, b], want_trace=False)

@@ -387,6 +387,75 @@ class TestSupervisor:
         retries = [e for e in events if e["ev"] == "retry"]
         assert retries and retries[0]["error"] == "wedged"
 
+    def test_wedged_verdict_runs_on_the_injected_clock(
+        self, tmp_path, monkeypatch
+    ):
+        """Regression: heartbeat ages used to be ``time.time() - mtime``
+        while every other verdict ran on the injected clock — untestable
+        under a fake clock, and one NTP step could false-kill a healthy
+        worker.  With the default tracker the whole wedged path now runs
+        on the supervisor's own clock against real snapshot files."""
+        hb_dir = tmp_path / "heartbeats"
+        hb_dir.mkdir()
+        monkeypatch.setenv("REPRO_HEARTBEAT_DIR", str(hb_dir))
+        clock = FakeClock()
+        spawner = FakeSpawner()
+        supervisor = Supervisor(
+            JobQueue(),
+            Journal(tmp_path / "journal.jsonl"),
+            ServePolicy(slots=1, max_attempts=3, backoff=NO_BACKOFF,
+                        wedged_after_s=10.0),
+            str(tmp_path),
+            spawn=spawner,
+            clock=clock,  # heartbeat_age not injected: default tracker
+        )
+        record = supervisor.submit(job())
+        supervisor.poll()
+        handle = spawner.handle_for(record.id)
+        snapshot = hb_dir / f"{handle.pid}-1.json"
+        # Snapshot written in the *wall* clock's past: an mtime-vs-wall
+        # subtraction would see it as ancient and kill instantly.
+        snapshot.write_text("{}")
+        os.utime(snapshot, (time.time() - 3600, time.time() - 3600))
+        supervisor.poll()
+        assert not handle.killed  # first observation counts as fresh
+        clock.advance(9.0)
+        supervisor.poll()
+        assert not handle.killed  # 9s < wedged_after_s on the fake clock
+        # A fresh beat (mtime changes) resets the age even though the fake
+        # clock keeps marching.
+        os.utime(snapshot, (time.time() - 1800, time.time() - 1800))
+        clock.advance(9.0)
+        supervisor.poll()
+        assert not handle.killed
+        clock.advance(11.0)  # now 11s of fake time with no new beat
+        supervisor.poll()
+        assert handle.killed
+        events = [json.loads(line) for line in
+                  open(supervisor.journal.path, encoding="utf-8")]
+        retries = [e for e in events if e["ev"] == "retry"]
+        assert retries and retries[0]["error"] == "wedged"
+
+    def test_heartbeat_tracker_forgets_reaped_pids(self, tmp_path, monkeypatch):
+        from repro.serve.supervisor import HeartbeatAgeTracker
+
+        hb_dir = tmp_path / "heartbeats"
+        hb_dir.mkdir()
+        monkeypatch.setenv("REPRO_HEARTBEAT_DIR", str(hb_dir))
+        clock = FakeClock()
+        tracker = HeartbeatAgeTracker(clock)
+        snapshot = hb_dir / "123-1.json"
+        snapshot.write_text("{}")
+        assert tracker(123) == 0.0
+        clock.advance(5.0)
+        assert tracker(123) == 5.0
+        tracker.forget(123)
+        clock.advance(5.0)
+        # Same mtime, but a recycled pid starts a fresh observation window.
+        assert tracker(123) == 0.0
+        snapshot.unlink()
+        assert tracker(123) is None  # no snapshot -> no wedged verdict
+
     def test_dedup_coalesces_identical_jobs(self, tmp_path):
         supervisor, spawner, _ = make_supervisor(tmp_path, slots=2)
         leader = supervisor.submit(job())
